@@ -1,0 +1,62 @@
+// A2 -- FAN-heuristic ablation (Section 5 design choices).
+//
+// The paper modifies FAN in three ways: objective weights combine with MAX
+// at fanout stems (not the ATPG sum), SCOAP controllability guides choices,
+// and decisions run in 3 phases between dynamic dominators. This harness
+// measures backtracks and decisions for the witness row (delta = exact)
+// under each variant.
+#include <iostream>
+
+#include "gen/iscas_suite.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace waveck;
+  using namespace waveck::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::cout << "A2: FAN heuristic ablation (witness search at delta = "
+               "exact)\n";
+  std::cout << std::string(92, '=') << "\n";
+  print_row({"CIRCUIT", "paper-FAN", "sum@fanout", "no-SCOAP", "1-phase",
+             "no-dom-in-CA"},
+            {14, 16, 16, 16, 16, 16});
+  std::cout << std::string(92, '-') << "\n";
+
+  for (const auto& entry : gen::table1_suite(quick)) {
+    const Circuit& c = entry.circuit;
+    if (entry.max_backtracks < 1000) continue;  // skip the abandoned giant
+
+    VerifyOptions base;
+    base.case_analysis.max_backtracks = entry.max_backtracks;
+    base.max_stems = 512;
+    Verifier vf(c, base);
+    const auto exact = vf.exact_floating_delay();
+    if (!exact.exact) continue;
+
+    auto run = [&](auto mutate) {
+      VerifyOptions opt = base;
+      mutate(opt);
+      Verifier v(c, opt);
+      const auto rep = v.check_circuit(exact.delay);
+      if (rep.conclusion == CheckConclusion::kViolation) {
+        return "V(" + std::to_string(rep.backtracks) + "b)";
+      }
+      return std::string(to_string(rep.conclusion));
+    };
+
+    const std::string paper = run([](VerifyOptions&) {});
+    const std::string sum =
+        run([](VerifyOptions& o) { o.case_analysis.sum_at_fanout = true; });
+    const std::string noscoap =
+        run([](VerifyOptions& o) { o.case_analysis.use_scoap = false; });
+    const std::string onephase =
+        run([](VerifyOptions& o) { o.case_analysis.three_phase = false; });
+    const std::string nodom = run(
+        [](VerifyOptions& o) { o.case_analysis.dominators_in_search = false; });
+    print_row({entry.name, paper, sum, noscoap, onephase, nodom},
+              {14, 16, 16, 16, 16, 16});
+  }
+  std::cout << "\nV(kb) = vector found after k backtracks; A = abandoned\n";
+  return 0;
+}

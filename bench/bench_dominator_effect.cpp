@@ -1,0 +1,78 @@
+// E5/E6 -- Section 6 paragraph 3: dominator effectiveness on the
+// "traditionally difficult" SEC/DED circuit class (c1908).
+//
+// Paper: "The use of timing dominators was very effective on the
+// traditionally difficult c1908 circuit. It proved that output 57_912
+// (topological delay of 340) cannot have a delay greater than 200 in 0.76
+// seconds. This particular case has 5 timing dominators, and no narrowing
+// was performed on 3 of them by the original method."
+//
+// We reproduce the mechanism on the c1908-analogue: pick the output with
+// the deepest cone, sweep delta downward, and report (a) the largest delta
+// each configuration (with / without G.I.T.D.) can refute without case
+// analysis, and (b) the dominator counts at those deltas.
+#include <iostream>
+
+#include "analysis/carriers.hpp"
+#include "gen/iscas_suite.hpp"
+#include "harness.hpp"
+#include "netlist/topo_delay.hpp"
+
+int main() {
+  using namespace waveck;
+  using namespace waveck::bench;
+  const Circuit c = gen::prepare_for_experiment(gen::build_raw("c1908"));
+  const auto arrivals = topo_arrival(c);
+  NetId worst = c.outputs().front();
+  for (NetId o : c.outputs()) {
+    if (arrivals[o.index()] > arrivals[worst.index()]) worst = o;
+  }
+  const Time top = arrivals[worst.index()];
+
+  std::cout << "E5: dominator effectiveness on " << c.name() << " ("
+            << c.num_gates() << " NOR gates)\n";
+  std::cout << std::string(80, '=') << "\n";
+  std::cout << "deepest output: " << c.net(worst).name << ", top = " << top
+            << "\n\n";
+
+  auto largest_refutable = [&](bool with_dominators) {
+    VerifyOptions opt;
+    opt.use_dominators = with_dominators;
+    opt.use_stem_correlation = false;
+    opt.use_case_analysis = false;
+    Verifier v(c, opt);
+    // Sweep delta down from top; return the smallest delta still refuted
+    // purely by narrowing (+ dominators if enabled).
+    Time best = top + 1;
+    for (std::int64_t delta = top.value(); delta > 0; delta -= 10) {
+      const auto rep = v.check_output(worst, Time(delta));
+      if (rep.conclusion != CheckConclusion::kNoViolation) break;
+      best = Time(delta);
+    }
+    return best;
+  };
+
+  const Time without = largest_refutable(false);
+  const Time with = largest_refutable(true);
+  print_row({"configuration", "refutes down to delta"}, {34, 22});
+  std::cout << std::string(56, '-') << "\n";
+  print_row({"narrowing only", without.str()}, {34, 22});
+  print_row({"narrowing + G.I.T.D.", with.str()}, {34, 22});
+  std::cout << "\n(the paper's 340-top output was proved <= 200 only with "
+               "dominators)\n\n";
+
+  // Dominator chain at the with-GITD frontier.
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  const TimingCheck check{worst, with};
+  cs.restrict_domain(worst, AbstractSignal::violating(with));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  const auto carr = dynamic_carriers(cs, check);
+  const auto doms = timing_dominators(c, check, carr);
+  std::cout << "dynamic timing dominators at delta = " << with << ": "
+            << doms.size() << " (paper's case: 5)\n";
+  return 0;
+}

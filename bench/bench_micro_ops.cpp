@@ -1,0 +1,133 @@
+// M1 -- microbenchmarks: abstract-waveform algebra, gate projections, and
+// fixpoint throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "constraints/constraint_system.hpp"
+#include "constraints/projection.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "waveform/abstract_waveform.hpp"
+
+namespace {
+
+using namespace waveck;
+
+void BM_IntervalIntersectHull(benchmark::State& state) {
+  LtInterval a{Time(0), Time(100)};
+  LtInterval b{Time(50), Time(150)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+    benchmark::DoNotOptimize(a.hull(b));
+  }
+}
+BENCHMARK(BM_IntervalIntersectHull);
+
+void BM_SignalOps(benchmark::State& state) {
+  AbstractSignal a{LtInterval(Time(0), Time(100)),
+                   LtInterval(Time(10), Time(90))};
+  AbstractSignal b{LtInterval(Time(50), Time(150)),
+                   LtInterval(Time(-5), Time(60))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+    benchmark::DoNotOptimize(a.unite(b));
+    benchmark::DoNotOptimize(a.narrower_than(b));
+  }
+}
+BENCHMARK(BM_SignalOps);
+
+void BM_ProjectAnd(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    std::vector<AbstractSignal> ins(
+        n, AbstractSignal{LtInterval(Time(0), Time(50)),
+                          LtInterval(Time(5), Time(60))});
+    AbstractSignal out = AbstractSignal::violating(Time(40));
+    benchmark::DoNotOptimize(
+        project_gate(GateType::kAnd, DelaySpec::fixed(10), out,
+                     std::span<AbstractSignal>(ins)));
+  }
+}
+BENCHMARK(BM_ProjectAnd)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProjectXor(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<AbstractSignal> ins(
+        2, AbstractSignal{LtInterval(Time(0), Time(50)),
+                          LtInterval(Time(5), Time(60))});
+    AbstractSignal out = AbstractSignal::violating(Time(40));
+    benchmark::DoNotOptimize(
+        project_gate(GateType::kXor, DelaySpec::fixed(10), out,
+                     std::span<AbstractSignal>(ins)));
+  }
+}
+BENCHMARK(BM_ProjectXor);
+
+void BM_FixpointHrapcenko(benchmark::State& state) {
+  const Circuit c = gen::hrapcenko(10);
+  for (auto _ : state) {
+    ConstraintSystem cs(c);
+    for (NetId in : c.inputs()) {
+      cs.restrict_domain(in, AbstractSignal::floating_input());
+    }
+    cs.restrict_domain(*c.find_net("s"), AbstractSignal::violating(Time(61)));
+    cs.schedule_all();
+    benchmark::DoNotOptimize(cs.reach_fixpoint());
+  }
+}
+BENCHMARK(BM_FixpointHrapcenko);
+
+void BM_FixpointCarrySkip(benchmark::State& state) {
+  Circuit c = gen::carry_skip_adder(unsigned(state.range(0)), 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout_net = *c.find_net("cout");
+  for (auto _ : state) {
+    ConstraintSystem cs(c);
+    for (NetId in : c.inputs()) {
+      cs.restrict_domain(in, AbstractSignal::floating_input());
+    }
+    cs.restrict_domain(cout_net, AbstractSignal::violating(Time(100)));
+    cs.schedule_all();
+    benchmark::DoNotOptimize(cs.reach_fixpoint());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(c.num_gates()));
+}
+BENCHMARK(BM_FixpointCarrySkip)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FixpointNorC17(benchmark::State& state) {
+  const Circuit c = gen::prepare_for_experiment(gen::c17());
+  const NetId out = c.outputs().front();
+  for (auto _ : state) {
+    ConstraintSystem cs(c);
+    for (NetId in : c.inputs()) {
+      cs.restrict_domain(in, AbstractSignal::floating_input());
+    }
+    cs.restrict_domain(out, AbstractSignal::violating(Time(30)));
+    cs.schedule_all();
+    benchmark::DoNotOptimize(cs.reach_fixpoint());
+  }
+}
+BENCHMARK(BM_FixpointNorC17);
+
+void BM_TrailPushPop(benchmark::State& state) {
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  const NetId stem = c.fanout_stems().front();
+  for (auto _ : state) {
+    const auto mark = cs.push_state();
+    cs.restrict_domain(stem, AbstractSignal::class_only(false));
+    cs.reach_fixpoint();
+    cs.pop_to(mark);
+  }
+}
+BENCHMARK(BM_TrailPushPop);
+
+}  // namespace

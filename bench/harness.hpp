@@ -1,0 +1,98 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and the per-circuit "Table 1 row" runner.
+#pragma once
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/verifier.hpp"
+
+namespace waveck::bench {
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::cout << std::left << std::setw(widths[i]) << cells[i];
+  }
+  std::cout << "\n";
+}
+
+inline std::string fmt_time(Time t) { return t.str(); }
+
+inline std::string fmt_secs(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << s;
+  return os.str();
+}
+
+/// One Table-1 style record: the two deltas (exact and exact+1), per-stage
+/// statuses, backtracks, final result, CPU.
+struct Table1Row {
+  std::string circuit;
+  Time top{};
+  Time delta{};
+  std::string delta_kind;  // "E" exact, "U" upper bound
+  StageStatus before_gitd = StageStatus::kNotRun;
+  StageStatus after_gitd = StageStatus::kNotRun;
+  StageStatus after_stem = StageStatus::kNotRun;
+  std::string backtracks;  // number or "-" / "A"
+  std::string result;      // V / N / A
+  double seconds = 0.0;
+};
+
+inline void print_table1_header() {
+  print_row({"CIRCUIT", "MAX.TOP", "DELTA", "BEFORE", "AFTER", "AFTER",
+             "C.A.", "C.A.", "CPU"},
+            {14, 9, 9, 8, 8, 8, 8, 8, 8});
+  print_row({"", "", "", "G.I.T.D.", "G.I.T.D.", "STEM C.", "#BTRCK",
+             "RESULT", "(s)"},
+            {14, 9, 9, 8, 8, 8, 8, 8, 8});
+  std::cout << std::string(80, '-') << "\n";
+}
+
+inline void print_table1_row(const Table1Row& r) {
+  print_row({r.circuit, fmt_time(r.top), fmt_time(r.delta) + r.delta_kind,
+             to_string(r.before_gitd), to_string(r.after_gitd),
+             to_string(r.after_stem), r.backtracks, r.result,
+             fmt_secs(r.seconds)},
+            {14, 9, 9, 8, 8, 8, 8, 8, 8});
+}
+
+inline Table1Row row_from_suite(const std::string& name, Time top,
+                                Time delta, const std::string& kind,
+                                const SuiteReport& rep) {
+  Table1Row r;
+  r.circuit = name;
+  r.top = top;
+  r.delta = delta;
+  r.delta_kind = kind;
+  r.before_gitd = rep.before_gitd;
+  r.after_gitd = rep.after_gitd;
+  r.after_stem = rep.after_stem;
+  r.seconds = rep.seconds;
+  switch (rep.conclusion) {
+    case CheckConclusion::kViolation:
+      r.backtracks = std::to_string(rep.backtracks);
+      r.result = "V";
+      break;
+    case CheckConclusion::kNoViolation:
+      r.backtracks = rep.backtracks > 0 ? std::to_string(rep.backtracks) : "-";
+      r.result = "N";
+      break;
+    case CheckConclusion::kAbandoned:
+      r.backtracks = "A";
+      r.result = "A";
+      break;
+    case CheckConclusion::kPossible:
+      r.backtracks = "-";
+      r.result = "P";
+      break;
+  }
+  return r;
+}
+
+}  // namespace waveck::bench

@@ -1,0 +1,51 @@
+// Component delay correlation (the paper's companion capability, reference
+// [1]: S. M. Aourid, E. Cerny, "CLP-Based Gate-Level Timing Verification
+// with Delay Correlation", IWLS'97).
+//
+// Gates whose DelaySpec carries the same non-negative `group` id share one
+// physical delay variable D in [dmin, dmax]. Treating D as a constraint
+// variable and narrowing it by relational interval arithmetic removes the
+// pessimism of letting each instance pick an independent value: a timing
+// check that needs one instance slow and a correlated instance fast is
+// inconsistent.
+//
+// Narrowing rules (sound; derived from the projection semantics):
+//  * unary gate (NOT/BUF/DELAY): lambda_out = lambda_in + D exactly, so
+//    D ⊆ hull over feasible class pairs of
+//        [out.lmin - in.max, out.max - in.lmin];
+//  * controlling gate whose controlled output class is refuted (only the
+//    all-non-controlling combination remains): lambda_out = D + max_i
+//    lambda_i, giving the analogous window over the input maxima.
+// Group domains are the intersection over member-gate windows; an empty
+// group domain refutes the whole check (Theorem 2 reasoning lifted to
+// delay variables).
+//
+// Usage (see Verifier::check_output with use_delay_correlation): run the
+// narrowing loop *before* any case-analysis decision, write the narrowed
+// intervals back into the (caller-owned, mutable) circuit, re-run the
+// waveform fixpoint, and repeat until quiescent. Decisions taken later
+// remain sound because the delay deductions depend only on the undecided
+// top-level state.
+#pragma once
+
+#include <cstddef>
+
+#include "constraints/constraint_system.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct DelayCorrelationStats {
+  std::size_t rounds = 0;
+  std::size_t gates_narrowed = 0;
+  bool proved_no_violation = false;
+};
+
+/// One full correlation loop: narrow delay variables from the current
+/// domains, intersect per group, write back, re-fixpoint; repeat until no
+/// interval changes. `c` must be the very circuit `cs` was built on (passed
+/// mutably for the write-back). The system must be at a fixpoint on entry.
+DelayCorrelationStats apply_delay_correlation(ConstraintSystem& cs,
+                                              Circuit& c);
+
+}  // namespace waveck

@@ -1,0 +1,35 @@
+#include "analysis/head_lines.hpp"
+
+namespace waveck {
+
+HeadLines compute_head_lines(const Circuit& c) {
+  HeadLines hl;
+  hl.bound.assign(c.num_nets(), false);
+  hl.head.assign(c.num_nets(), false);
+
+  // Bound = stem (>= 2 fanout branches) or any fanin is bound; one
+  // topological pass settles it.
+  for (NetId n : c.inputs()) {
+    if (c.net(n).fanouts.size() >= 2) hl.bound[n.index()] = true;
+  }
+  for (GateId g : c.topo_order()) {
+    const Gate& gate = c.gate(g);
+    bool b = c.net(gate.out).fanouts.size() >= 2;
+    for (NetId in : gate.ins) b = b || hl.bound[in.index()];
+    hl.bound[gate.out.index()] = b;
+  }
+
+  // Head = free line on the frontier: some fanout gate's output is bound,
+  // or it is a free primary output.
+  for (NetId n : c.all_nets()) {
+    if (hl.bound[n.index()]) continue;
+    bool frontier = c.net(n).is_primary_output && c.net(n).fanouts.empty();
+    for (GateId g : c.net(n).fanouts) {
+      frontier = frontier || hl.bound[c.gate(g).out.index()];
+    }
+    hl.head[n.index()] = frontier;
+  }
+  return hl;
+}
+
+}  // namespace waveck

@@ -1,0 +1,28 @@
+// FAN head lines (Fujiwara-Shimono).
+//
+// A line is *bound* if it is a fanout stem or is reachable from one; all
+// other lines are *free* (they sit in fanout-free input regions). A *head
+// line* is a free line feeding a gate whose output is bound (or a free
+// primary output). FAN stops its backtrace at head lines: a value wanted
+// on a head line can always be justified later because its cone is
+// fanout-free -- deciding there instead of at the inputs shrinks the search
+// tree. The paper's modified FAN (Section 5) inherits this machinery.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct HeadLines {
+  std::vector<bool> bound;  // per net: stem or fed (transitively) by one
+  std::vector<bool> head;   // per net: free line on the free/bound frontier
+
+  [[nodiscard]] bool is_head(NetId n) const { return head[n.index()]; }
+  [[nodiscard]] bool is_bound(NetId n) const { return bound[n.index()]; }
+};
+
+[[nodiscard]] HeadLines compute_head_lines(const Circuit& c);
+
+}  // namespace waveck

@@ -1,0 +1,59 @@
+#include "analysis/learning.hpp"
+
+#include <unordered_set>
+
+namespace waveck {
+namespace {
+
+std::uint64_t pair_key(NetId y, bool v, NetId x, bool w) {
+  return (std::uint64_t{y.value()} << 33) | (std::uint64_t{v} << 32) |
+         (std::uint64_t{x.value()} << 1) | std::uint64_t{w};
+}
+
+}  // namespace
+
+LearningResult learn_implications(const Circuit& c,
+                                  const LearningOptions& opt) {
+  LearningResult res;
+  if (c.num_nets() > opt.max_nets) return res;
+
+  ConstraintSystem cs(c);
+  std::unordered_set<std::uint64_t> seen;
+
+  for (NetId y : c.all_nets()) {
+    if (res.table.size() >= opt.max_implications) break;
+    for (int v = 0; v <= 1; ++v) {
+      const bool vy = v != 0;
+      const auto mark = cs.push_state();
+      cs.restrict_domain(y, AbstractSignal::class_only(vy));
+      const auto status = cs.reach_fixpoint();
+      if (status == ConstraintSystem::Status::kNoViolation) {
+        res.impossible.emplace_back(y, vy);
+        cs.pop_to(mark);
+        continue;
+      }
+      // Every collapsed net is an implication target. (y itself collapsed
+      // trivially; skip it.) Only nets touched by the propagation need
+      // scanning.
+      for (NetId x : cs.changed_since(mark)) {
+        if (x == y) continue;
+        const AbstractSignal& d = cs.domain(x);
+        if (!d.single_class()) continue;
+        const bool wx = d.the_class();
+        if (seen.insert(pair_key(y, vy, x, wx)).second) {
+          res.table.add(y, vy, x, wx);
+          ++res.direct;
+        }
+        if (opt.contrapositives &&
+            seen.insert(pair_key(x, !wx, y, !vy)).second) {
+          res.table.add(x, !wx, y, !vy);
+          ++res.contrapositive;
+        }
+      }
+      cs.pop_to(mark);
+    }
+  }
+  return res;
+}
+
+}  // namespace waveck

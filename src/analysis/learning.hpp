@@ -1,0 +1,46 @@
+// Static learning of class implications (paper Section 4, first paragraph).
+//
+// SOCRATES-style pre-processing: for every net y and class v, assert y = v
+// on a scratch constraint system and propagate; every other net x that
+// collapses to a single class w yields the implication (y=v) => (x=w) and
+// its contrapositive (x=!w) => (y=!v). Classes that propagate to an outright
+// contradiction are globally impossible and reported separately so callers
+// can restrict them permanently.
+//
+// The implications are derived from the Boolean structure only (domains
+// start at top), so they remain valid in any narrower state -- in
+// particular under every timing check.
+#pragma once
+
+#include <vector>
+
+#include "constraints/constraint_system.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct LearningResult {
+  ImplicationTable table;
+  /// (net, class) pairs that are globally unsatisfiable.
+  std::vector<std::pair<NetId, bool>> impossible;
+  std::size_t direct = 0;          // implications found by propagation
+  std::size_t contrapositive = 0;  // added contrapositives
+};
+
+struct LearningOptions {
+  /// Skip learning for circuits with more nets than this (pre-processing
+  /// cost guard); an empty table is returned.
+  std::size_t max_nets = 200000;
+  /// Record the contrapositive of each discovered implication (SOCRATES
+  /// stores these explicitly; they are the non-local ones local propagation
+  /// cannot rediscover).
+  bool contrapositives = true;
+  /// Stop recording once the table reaches this size (memory guard on
+  /// implication-dense circuits such as long carry chains).
+  std::size_t max_implications = 2'000'000;
+};
+
+[[nodiscard]] LearningResult learn_implications(const Circuit& c,
+                                                const LearningOptions& opt = {});
+
+}  // namespace waveck

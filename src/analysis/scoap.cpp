@@ -1,0 +1,155 @@
+#include "analysis/scoap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace waveck {
+namespace {
+
+constexpr std::uint32_t kCap = 1u << 24;  // avoid overflow on deep circuits
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  return std::min(kCap, a + b);
+}
+
+}  // namespace
+
+Scoap compute_scoap(const Circuit& c) {
+  Scoap s;
+  s.cc0.assign(c.num_nets(), kCap);
+  s.cc1.assign(c.num_nets(), kCap);
+  s.co.assign(c.num_nets(), kCap);
+
+  for (NetId in : c.inputs()) {
+    s.cc0[in.index()] = 1;
+    s.cc1[in.index()] = 1;
+  }
+
+  for (GateId gid : c.topo_order()) {
+    const Gate& g = c.gate(gid);
+    const std::size_t o = g.out.index();
+    switch (g.type) {
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool cv = controlling_value(g.type);
+        // Controlled output value: set ONE input to the controlling value.
+        std::uint32_t ctrl = kCap;
+        // Non-controlled output: set ALL inputs to the non-controlling value.
+        std::uint32_t nctrl = 1;
+        for (NetId in : g.ins) {
+          ctrl = std::min(ctrl, s.cc(cv, in));
+          nctrl = sat_add(nctrl, s.cc(!cv, in));
+        }
+        ctrl = sat_add(ctrl, 1);
+        const bool ctrl_out = cv != inversion(g.type);
+        (ctrl_out ? s.cc1 : s.cc0)[o] = ctrl;
+        (ctrl_out ? s.cc0 : s.cc1)[o] = nctrl;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Fold inputs pairwise: cost of parity p over first k inputs.
+        std::uint32_t even = 1;  // parity 0 so far (no inputs: parity 0)
+        std::uint32_t odd = kCap;
+        bool first = true;
+        for (NetId in : g.ins) {
+          const std::uint32_t c0 = s.cc0[in.index()];
+          const std::uint32_t c1 = s.cc1[in.index()];
+          if (first) {
+            even = c0;
+            odd = c1;
+            first = false;
+          } else {
+            const std::uint32_t ne =
+                std::min(sat_add(even, c0), sat_add(odd, c1));
+            const std::uint32_t no =
+                std::min(sat_add(even, c1), sat_add(odd, c0));
+            even = ne;
+            odd = no;
+          }
+        }
+        const bool inv = inversion(g.type);
+        s.cc0[o] = sat_add(inv ? odd : even, 1);
+        s.cc1[o] = sat_add(inv ? even : odd, 1);
+        break;
+      }
+      case GateType::kNot:
+        s.cc0[o] = sat_add(s.cc1[g.ins[0].index()], 1);
+        s.cc1[o] = sat_add(s.cc0[g.ins[0].index()], 1);
+        break;
+      case GateType::kBuf:
+      case GateType::kDelay:
+        s.cc0[o] = sat_add(s.cc0[g.ins[0].index()], 1);
+        s.cc1[o] = sat_add(s.cc1[g.ins[0].index()], 1);
+        break;
+      case GateType::kMux: {
+        const NetId sel = g.ins[0], d0 = g.ins[1], d1 = g.ins[2];
+        for (int v = 0; v <= 1; ++v) {
+          const auto& ccv = v ? s.cc1 : s.cc0;
+          const std::uint32_t via0 =
+              sat_add(s.cc0[sel.index()], ccv[d0.index()]);
+          const std::uint32_t via1 =
+              sat_add(s.cc1[sel.index()], ccv[d1.index()]);
+          (v ? s.cc1 : s.cc0)[o] = sat_add(std::min(via0, via1), 1);
+        }
+        break;
+      }
+    }
+  }
+
+  // Observability, outputs-to-inputs.
+  for (NetId out : c.outputs()) s.co[out.index()] = 0;
+  const auto& order = c.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Gate& g = c.gate(*it);
+    const std::uint32_t co_out = s.co[g.out.index()];
+    if (co_out >= kCap) continue;
+    for (std::size_t i = 0; i < g.ins.size(); ++i) {
+      std::uint32_t cost = co_out;
+      switch (g.type) {
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor: {
+          const bool ncv = !controlling_value(g.type);
+          for (std::size_t j = 0; j < g.ins.size(); ++j) {
+            if (j != i) cost = sat_add(cost, s.cc(ncv, g.ins[j]));
+          }
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor:
+          for (std::size_t j = 0; j < g.ins.size(); ++j) {
+            if (j != i) {
+              cost = sat_add(cost, std::min(s.cc0[g.ins[j].index()],
+                                            s.cc1[g.ins[j].index()]));
+            }
+          }
+          break;
+        case GateType::kNot:
+        case GateType::kBuf:
+        case GateType::kDelay:
+          break;
+        case GateType::kMux:
+          if (i == 0) {
+            // Observing the select needs the data inputs to differ.
+            cost = sat_add(cost, std::min(sat_add(s.cc0[g.ins[1].index()],
+                                                  s.cc1[g.ins[2].index()]),
+                                          sat_add(s.cc1[g.ins[1].index()],
+                                                  s.cc0[g.ins[2].index()])));
+          } else {
+            cost = sat_add(cost, s.cc(i == 2, g.ins[0]));
+          }
+          break;
+      }
+      cost = sat_add(cost, 1);
+      auto& slot = s.co[g.ins[i].index()];
+      slot = std::min(slot, cost);
+    }
+  }
+  return s;
+}
+
+}  // namespace waveck

@@ -1,0 +1,26 @@
+// SCOAP combinational controllability/observability (Goldstein-Thigpen),
+// used to guide the modified-FAN case analysis (paper Section 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct Scoap {
+  // cc[v][net]: combinational v-controllability (>= 1; primary inputs are 1).
+  std::vector<std::uint32_t> cc0;
+  std::vector<std::uint32_t> cc1;
+  // co[net]: combinational observability (primary outputs are 0).
+  std::vector<std::uint32_t> co;
+
+  [[nodiscard]] std::uint32_t cc(bool v, NetId n) const {
+    return (v ? cc1 : cc0)[n.index()];
+  }
+};
+
+[[nodiscard]] Scoap compute_scoap(const Circuit& c);
+
+}  // namespace waveck

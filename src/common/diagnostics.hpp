@@ -1,0 +1,26 @@
+// Error reporting helpers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace waveck {
+
+/// Thrown on malformed user input (netlist files, delay annotations, ...).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Thrown on structurally invalid circuits (cycles, undriven internal nets...).
+class CircuitError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace waveck

@@ -1,0 +1,48 @@
+// Strong index types for nets and gates.
+//
+// Circuits are stored as index-addressed vectors; strong IDs keep net and
+// gate indices from being mixed up at compile time.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace waveck {
+
+template <class Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = std::numeric_limits<underlying>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : v_(v) {}
+  constexpr explicit Id(std::size_t v) : v_(static_cast<underlying>(v)) {}
+
+  [[nodiscard]] constexpr underlying value() const { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id a, Id b) = default;
+
+ private:
+  underlying v_ = kInvalid;
+};
+
+struct NetTag {};
+struct GateTag {};
+
+using NetId = Id<NetTag>;
+using GateId = Id<GateTag>;
+
+}  // namespace waveck
+
+template <class Tag>
+struct std::hash<waveck::Id<Tag>> {
+  std::size_t operator()(waveck::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

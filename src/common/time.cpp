@@ -1,0 +1,15 @@
+#include "common/time.hpp"
+
+#include <ostream>
+
+namespace waveck {
+
+std::string Time::str() const {
+  if (is_neg_inf()) return "-inf";
+  if (is_pos_inf()) return "+inf";
+  return std::to_string(v_);
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.str(); }
+
+}  // namespace waveck

@@ -1,0 +1,139 @@
+#include "constraints/constraint_system.hpp"
+
+#include <stdexcept>
+
+#include "constraints/projection.hpp"
+
+namespace waveck {
+
+ConstraintSystem::ConstraintSystem(const Circuit& circuit)
+    : circuit_(circuit),
+      domains_(circuit.num_nets(), AbstractSignal::top()),
+      in_queue_(circuit.num_gates(), false),
+      save_epoch_(circuit.num_nets(), 0) {}
+
+void ConstraintSystem::save_if_needed(NetId n) {
+  auto& epoch = save_epoch_[n.index()];
+  if (epoch == current_epoch_) return;
+  trail_.push_back({n, domains_[n.index()], epoch});
+  epoch = current_epoch_;
+}
+
+void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
+                                     GateId /*source*/) {
+  AbstractSignal& dom = domains_[n.index()];
+  const AbstractSignal nd = dom.intersect(value);
+  if (nd == dom) return;
+
+  save_if_needed(n);
+  const bool was_single = dom.single_class();
+  const bool was_bottom = dom.is_bottom();
+  dom = nd;
+  ++narrowings_;
+  if (nd.is_bottom() && !was_bottom) ++bottom_count_;
+
+  schedule_net(n);
+
+  if (implications_ != nullptr && !nd.is_bottom() && nd.single_class() &&
+      !was_single) {
+    const bool v = nd.the_class();
+    for (const auto& [x, w] : implications_->of(n, v)) {
+      commit_domain(x, AbstractSignal::class_only(w), GateId{});
+    }
+  }
+}
+
+bool ConstraintSystem::restrict_domain(NetId n, const AbstractSignal& with) {
+  const std::uint64_t before = narrowings_;
+  commit_domain(n, with, GateId{});
+  return narrowings_ != before;
+}
+
+void ConstraintSystem::schedule_gate(GateId g) {
+  if (in_queue_[g.index()]) return;
+  in_queue_[g.index()] = true;
+  queue_.push_back(g);
+}
+
+void ConstraintSystem::schedule_net(NetId n) {
+  const Net& net = circuit_.net(n);
+  if (net.driver.valid()) schedule_gate(net.driver);
+  for (GateId f : net.fanouts) schedule_gate(f);
+}
+
+void ConstraintSystem::schedule_all() {
+  for (GateId g : circuit_.topo_order()) schedule_gate(g);
+}
+
+void ConstraintSystem::clear_queue() {
+  queue_.clear();
+  in_queue_.assign(in_queue_.size(), false);
+}
+
+void ConstraintSystem::apply_gate(GateId gid) {
+  const Gate& g = circuit_.gate(gid);
+  AbstractSignal out = domains_[g.out.index()];
+  // Local copies: projections see a consistent snapshot; commits re-intersect
+  // so concurrent implication-driven narrowing is never widened back.
+  std::vector<AbstractSignal> ins;
+  ins.reserve(g.ins.size());
+  for (NetId in : g.ins) ins.push_back(domains_[in.index()]);
+
+  const ProjectionDelta delta = project_gate(g.type, g.delay, out, ins);
+  ++applications_;
+  if (delta.out_changed) commit_domain(g.out, out, gid);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (delta.in_changed(i)) commit_domain(g.ins[i], ins[i], gid);
+  }
+}
+
+ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
+  // Tripwire against unforeseen non-termination (Theorem 1 guarantees the
+  // fixpoint is finite; this bound is far above any observed run).
+  const std::uint64_t budget =
+      applications_ + 1000ull * std::max<std::size_t>(circuit_.num_gates(),
+                                                      10000);
+  while (!queue_.empty()) {
+    const GateId g = queue_.front();
+    queue_.pop_front();
+    in_queue_[g.index()] = false;
+    apply_gate(g);
+    if (inconsistent()) {
+      clear_queue();
+      return Status::kNoViolation;
+    }
+    if (applications_ > budget) {
+      throw std::logic_error("constraint propagation exceeded budget");
+    }
+  }
+  return Status::kPossibleViolation;
+}
+
+std::vector<NetId> ConstraintSystem::changed_since(Mark mark) const {
+  std::vector<NetId> nets;
+  nets.reserve(trail_.size() - mark);
+  for (std::size_t i = mark; i < trail_.size(); ++i) {
+    nets.push_back(trail_[i].net);
+  }
+  return nets;
+}
+
+ConstraintSystem::Mark ConstraintSystem::push_state() {
+  current_epoch_ = ++epoch_counter_;
+  return trail_.size();
+}
+
+void ConstraintSystem::pop_to(Mark mark) {
+  while (trail_.size() > mark) {
+    TrailEntry& e = trail_.back();
+    AbstractSignal& dom = domains_[e.net.index()];
+    if (dom.is_bottom() && !e.old_value.is_bottom()) --bottom_count_;
+    dom = e.old_value;
+    save_epoch_[e.net.index()] = e.old_epoch;
+    trail_.pop_back();
+  }
+  clear_queue();
+  current_epoch_ = ++epoch_counter_;
+}
+
+}  // namespace waveck

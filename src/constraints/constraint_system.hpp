@@ -1,0 +1,140 @@
+// Event-driven constraint system over abstract signals (paper Section 3.3).
+//
+// One variable per net (domain: AbstractSignal), one relational constraint
+// per gate. `reach_fixpoint` repeatedly applies scheduled gate constraints
+// until no domain narrows -- the greatest fixpoint (Theorem 1). Selective
+// state saving (a trail) supports the backtracking needed by stem
+// correlation and case analysis.
+//
+// Learned class implications (Section 4, static learning) hook in through
+// an ImplicationTable: whenever a net's domain collapses to a single final
+// class, the table's consequences are applied as further restrictions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "netlist/circuit.hpp"
+#include "waveform/abstract_waveform.hpp"
+
+namespace waveck {
+
+/// Class implications (y = v) => (x = w), stored per (net, class).
+class ImplicationTable {
+ public:
+  struct Consequence {
+    NetId net;
+    bool cls;
+  };
+
+  void add(NetId y, bool v, NetId x, bool w) {
+    table_[key(y, v)].push_back({x, w});
+    ++size_;
+  }
+  [[nodiscard]] const std::vector<Consequence>& of(NetId y, bool v) const {
+    static const std::vector<Consequence> kEmpty;
+    const auto it = table_.find(key(y, v));
+    return it == table_.end() ? kEmpty : it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  static std::uint64_t key(NetId y, bool v) {
+    return (std::uint64_t{y.value()} << 1) | (v ? 1 : 0);
+  }
+  std::unordered_map<std::uint64_t, std::vector<Consequence>> table_;
+  std::size_t size_ = 0;
+};
+
+class ConstraintSystem {
+ public:
+  enum class Status : std::uint8_t {
+    kPossibleViolation,  // fixpoint reached with consistent domains
+    kNoViolation,        // some domain emptied: no sigma-compatible waveform
+  };
+
+  /// Binds to `circuit` (kept by reference; must outlive the system). All
+  /// domains start at top.
+  explicit ConstraintSystem(const Circuit& circuit);
+
+  [[nodiscard]] const Circuit& circuit() const { return circuit_; }
+
+  // ----- domains ------------------------------------------------------------
+  [[nodiscard]] const AbstractSignal& domain(NetId n) const {
+    return domains_[n.index()];
+  }
+  /// Intersects the domain of `n` with `with`, recording the trail entry and
+  /// scheduling affected constraints. Returns true if the domain narrowed.
+  bool restrict_domain(NetId n, const AbstractSignal& with);
+
+  [[nodiscard]] bool inconsistent() const { return bottom_count_ > 0; }
+  [[nodiscard]] std::size_t bottom_count() const { return bottom_count_; }
+
+  // ----- scheduling / solving -------------------------------------------------
+  void schedule_gate(GateId g);
+  /// Schedules the driver and every fanout constraint of `n`.
+  void schedule_net(NetId n);
+  void schedule_all();
+  void clear_queue();
+
+  /// Paper Figure 4 `reach_fixpoint`: drains the event queue. Returns
+  /// kNoViolation iff some domain emptied (Theorem 2 generalised to any
+  /// net).
+  Status reach_fixpoint();
+
+  // ----- backtracking ------------------------------------------------------------
+  using Mark = std::size_t;
+  /// Opens a new restorable state (decision level). Returns the mark to pass
+  /// to `pop_to`.
+  Mark push_state();
+  /// Restores all domains to their values at `mark` and clears the queue.
+  void pop_to(Mark mark);
+  [[nodiscard]] std::size_t trail_size() const { return trail_.size(); }
+  /// Nets whose domains changed since `mark`. Each net appears once per
+  /// decision level it was first touched in (exactly once when no nested
+  /// `push_state` happened after `mark`).
+  [[nodiscard]] std::vector<NetId> changed_since(Mark mark) const;
+
+  // ----- learning hook -----------------------------------------------------------
+  /// Attaches a table of learned class implications (may be null). Not
+  /// owned; must outlive the system.
+  void set_implications(const ImplicationTable* table) { implications_ = table; }
+
+  // ----- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t applications() const { return applications_; }
+  [[nodiscard]] std::uint64_t narrowings() const { return narrowings_; }
+
+ private:
+  void save_if_needed(NetId n);
+  /// Commits a narrowed value for net `n`: trail, events, learning.
+  void commit_domain(NetId n, const AbstractSignal& value, GateId source);
+  void apply_gate(GateId g);
+
+  const Circuit& circuit_;
+  std::vector<AbstractSignal> domains_;
+
+  std::deque<GateId> queue_;
+  std::vector<bool> in_queue_;
+
+  struct TrailEntry {
+    NetId net;
+    AbstractSignal old_value;
+    std::uint64_t old_epoch;
+  };
+  std::vector<TrailEntry> trail_;
+  std::vector<std::uint64_t> save_epoch_;
+  std::uint64_t current_epoch_ = 1;
+  std::uint64_t epoch_counter_ = 1;
+
+  std::size_t bottom_count_ = 0;
+  const ImplicationTable* implications_ = nullptr;
+
+  std::uint64_t applications_ = 0;
+  std::uint64_t narrowings_ = 0;
+};
+
+}  // namespace waveck

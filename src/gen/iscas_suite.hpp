@@ -1,0 +1,38 @@
+// The Table-1 experiment suite: ISCAS'85-class circuits, NOR-mapped with a
+// uniform gate delay of 10, exactly as the paper's experimental setup
+// ("NOR-gate implementations of the ISCAS'85 benchmarks with delays of 10
+// on the outputs of all gates"). See DESIGN.md for the substitution note:
+// c17 is the genuine netlist; the others are architecture-faithful
+// generated analogues.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck::gen {
+
+struct SuiteEntry {
+  std::string name;        // e.g. "c17", "c6288-analog"
+  Circuit circuit;         // NOR-mapped, uniform delay applied
+  std::size_t max_backtracks;  // per-circuit case-analysis budget
+};
+
+/// Per-gate delay used throughout the paper's experiments.
+inline constexpr std::int64_t kPaperGateDelay = 10;
+
+/// Builds one suite circuit by name (raw architecture, before mapping).
+/// Known names: c17, c432, c499, c880, c1355, c1908, c2670, c3540, c5315,
+/// c6288, c7552. Throws std::invalid_argument otherwise.
+[[nodiscard]] Circuit build_raw(const std::string& name);
+
+/// NOR-maps a raw circuit and applies the uniform paper delay.
+[[nodiscard]] Circuit prepare_for_experiment(
+    const Circuit& raw, std::int64_t gate_delay = kPaperGateDelay);
+
+/// The full Table-1 suite, mapped and delayed. `small_only` restricts to
+/// the circuits cheap enough for unit tests.
+[[nodiscard]] std::vector<SuiteEntry> table1_suite(bool small_only = false);
+
+}  // namespace waveck::gen

@@ -1,0 +1,73 @@
+#include "netlist/topo_delay.hpp"
+
+#include <algorithm>
+
+namespace waveck {
+
+std::vector<Time> topo_arrival(const Circuit& c) {
+  std::vector<Time> top(c.num_nets(), Time(0));
+  for (GateId gid : c.topo_order()) {
+    const Gate& g = c.gate(gid);
+    Time worst = Time::neg_inf();
+    for (NetId in : g.ins) worst = Time::max(worst, top[in.index()]);
+    if (g.ins.empty()) worst = Time(0);
+    top[g.out.index()] = worst + g.delay.dmax;
+  }
+  return top;
+}
+
+std::vector<Time> topo_arrival_min(const Circuit& c) {
+  std::vector<Time> t(c.num_nets(), Time(0));
+  for (GateId gid : c.topo_order()) {
+    const Gate& g = c.gate(gid);
+    Time best = Time::pos_inf();
+    for (NetId in : g.ins) best = Time::min(best, t[in.index()]);
+    if (g.ins.empty()) best = Time(0);
+    t[g.out.index()] = best + g.delay.dmin;
+  }
+  return t;
+}
+
+std::vector<Time> topo_to_target(const Circuit& c, NetId s) {
+  std::vector<Time> dist(c.num_nets(), Time::neg_inf());
+  dist[s.index()] = Time(0);
+  const auto& order = c.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Gate& g = c.gate(*it);
+    const Time via = dist[g.out.index()];
+    if (via == Time::neg_inf()) continue;
+    const Time through = via + g.delay.dmax;
+    for (NetId in : g.ins) {
+      dist[in.index()] = Time::max(dist[in.index()], through);
+    }
+  }
+  return dist;
+}
+
+Time topological_delay(const Circuit& c) {
+  const auto top = topo_arrival(c);
+  Time worst = Time::neg_inf();
+  for (NetId o : c.outputs()) worst = Time::max(worst, top[o.index()]);
+  return worst;
+}
+
+std::vector<NetId> longest_path_to(const Circuit& c, NetId s) {
+  const auto top = topo_arrival(c);
+  std::vector<NetId> path;
+  NetId cur = s;
+  path.push_back(cur);
+  while (c.net(cur).driver.valid()) {
+    const Gate& g = c.gate(c.net(cur).driver);
+    // Pick the input on the longest path: top(in) + dmax == top(out).
+    NetId best = g.ins.front();
+    for (NetId in : g.ins) {
+      if (top[in.index()] > top[best.index()]) best = in;
+    }
+    cur = best;
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace waveck

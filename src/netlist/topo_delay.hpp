@@ -1,0 +1,37 @@
+// Topological (longest-path) delay queries (paper Section 2).
+//
+//   top_n        — length of the longest input->n path
+//   top_{x->s}   — length of the longest x->s path
+//   top          — circuit topological delay (max over outputs)
+//
+// Path length is the sum of gate dmax along the path (the paper attributes
+// delay to DELAY elements; we attribute it to every gate's output, which is
+// the same thing once DELAY elements are gates).
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+/// top_n for every net, indexed by NetId. Primary inputs are 0.
+[[nodiscard]] std::vector<Time> topo_arrival(const Circuit& c);
+
+/// Earliest-arrival counterpart (shortest path over dmin): the classic STA
+/// min-delay bound used for hold-style checks.
+[[nodiscard]] std::vector<Time> topo_arrival_min(const Circuit& c);
+
+/// top_{x->s} for every net x and a fixed target net s, indexed by NetId.
+/// Time::neg_inf() for nets with no path to s; top_{s->s} = 0.
+[[nodiscard]] std::vector<Time> topo_to_target(const Circuit& c, NetId s);
+
+/// Circuit topological delay: max over primary outputs of top_n.
+[[nodiscard]] Time topological_delay(const Circuit& c);
+
+/// One longest input->s path as a net sequence (critical path witness for
+/// the STA baseline).
+[[nodiscard]] std::vector<NetId> longest_path_to(const Circuit& c, NetId s);
+
+}  // namespace waveck

@@ -1,0 +1,38 @@
+// Structural Verilog reader/writer (gate-primitive subset).
+//
+// The ISCAS'85/'89 circuits circulate both as `.bench` and as structural
+// Verilog built from the gate primitives; this reader accepts that subset:
+//
+//   module c17 (N1, N2, N3, N6, N7, N22, N23);
+//     input  N1, N2, N3, N6, N7;
+//     output N22, N23;
+//     wire   N10, N11, N16, N19;
+//     nand NAND2_1 (N10, N1, N3);   // first terminal is the output
+//     not  (N5, N4);                // instance name optional
+//   endmodule
+//
+// Supported primitives: and, nand, or, nor, xor, xnor, not, buf. Comments
+// (`//`, `/* */`), multi-line statements, and vectors-free scalar nets
+// only. Everything else (assign, always, ranges, parameters) is rejected
+// with a ParseError -- the tool targets gate-level combinational netlists.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+[[nodiscard]] Circuit read_verilog(std::istream& is,
+                                   std::string fallback_name = "verilog");
+[[nodiscard]] Circuit read_verilog_string(const std::string& text,
+                                          std::string fallback_name = "v");
+[[nodiscard]] Circuit read_verilog_file(const std::string& path);
+
+/// Writes the circuit as structural Verilog (MUX/DELAY are emitted as
+/// comments plus equivalent primitives: DELAY -> buf, MUX -> and/or/not).
+void write_verilog(std::ostream& os, const Circuit& c);
+[[nodiscard]] std::string write_verilog_string(const Circuit& c);
+
+}  // namespace waveck

@@ -1,0 +1,44 @@
+// Floating-mode delay simulation (the Chen/Du/Devadas-Keutzer-Malik rules).
+//
+// Under floating mode the initial state of every net is unknown; applying an
+// input vector at time 0, a gate output is guaranteed stable once
+//   * some *controlling*-valued input has settled (earliest such input), or
+//   * all inputs have settled (when no input settles at a controlling value).
+// The per-vector settle time of the checked output is the exact floating
+// delay for that vector; maximising over all vectors gives the circuit's
+// floating-mode delay (paper Section 2). This simulator is the independent
+// oracle used to validate test vectors produced by the case analysis, and
+// (exhaustively, for small circuits) the ground truth for the whole method.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct FloatingResult {
+  std::vector<bool> value;   // final value per net (indexed by NetId)
+  std::vector<Time> settle;  // guaranteed-stable-after time per net
+};
+
+/// Simulates one vector. `inputs[i]` is the value of `c.inputs()[i]`.
+[[nodiscard]] FloatingResult simulate_floating(const Circuit& c,
+                                               const std::vector<bool>& inputs);
+
+/// Worst floating settle time of net `s` over all input vectors, by
+/// exhaustive enumeration. Requires <= `max_inputs` primary inputs.
+[[nodiscard]] Time exhaustive_floating_delay(const Circuit& c, NetId s,
+                                             unsigned max_inputs = 24);
+
+/// Worst floating settle time over every primary output.
+[[nodiscard]] Time exhaustive_floating_delay(const Circuit& c,
+                                             unsigned max_inputs = 24);
+
+/// Finds a vector whose settle time on `s` is >= delta, or nullopt.
+[[nodiscard]] std::optional<std::vector<bool>> find_violating_vector(
+    const Circuit& c, NetId s, Time delta, unsigned max_inputs = 24);
+
+}  // namespace waveck

@@ -1,0 +1,79 @@
+#include "sim/monte_carlo.hpp"
+
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b9) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1d;
+  }
+};
+
+/// Worst settle over outputs; also reports the output.
+Time worst_settle(const Circuit& c, const FloatingResult& r, NetId* where) {
+  Time worst = Time::neg_inf();
+  for (NetId o : c.outputs()) {
+    if (r.settle[o.index()] >= worst) {
+      worst = r.settle[o.index()];
+      if (where != nullptr) *where = o;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+SampledDelay sampled_floating_delay(const Circuit& c, std::size_t samples,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  SampledDelay best;
+  const std::size_t n = c.inputs().size();
+  std::vector<bool> v(n);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = rng.next() & 1;
+    const auto r = simulate_floating(c, v);
+    NetId where;
+    const Time t = worst_settle(c, r, &where);
+    ++best.samples;
+    if (t > best.delay) {
+      best.delay = t;
+      best.witness = v;
+      best.output = where;
+    }
+  }
+  return best;
+}
+
+SampledDelay refined_floating_delay(const Circuit& c, std::size_t samples,
+                                    std::uint64_t seed) {
+  SampledDelay best = sampled_floating_delay(c, samples, seed);
+  if (best.witness.empty()) return best;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < best.witness.size(); ++i) {
+      std::vector<bool> v = best.witness;
+      v[i] = !v[i];
+      const auto r = simulate_floating(c, v);
+      NetId where;
+      const Time t = worst_settle(c, r, &where);
+      ++best.samples;
+      if (t > best.delay) {
+        best.delay = t;
+        best.witness = std::move(v);
+        best.output = where;
+        improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace waveck

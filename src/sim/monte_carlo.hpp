@@ -1,0 +1,36 @@
+// Monte-Carlo floating-delay estimation.
+//
+// For circuits too wide for the exhaustive oracle, random-vector sampling
+// gives a *lower* bound on the floating-mode delay plus the best witness
+// found. Useful as a sanity band around the verifier's exact result (exact
+// >= sampled always) and as a quick profiling tool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct SampledDelay {
+  Time delay = Time::neg_inf();  // best settle seen (lower bound on exact)
+  std::vector<bool> witness;     // vector achieving it
+  NetId output;                  // where it settled last
+  std::size_t samples = 0;
+};
+
+/// Simulates `samples` uniformly random vectors (deterministic per seed).
+[[nodiscard]] SampledDelay sampled_floating_delay(const Circuit& c,
+                                                  std::size_t samples,
+                                                  std::uint64_t seed = 1);
+
+/// Greedy refinement: starting from the sampled best, flips single input
+/// bits while the settle time improves (usually tightens the bound
+/// considerably on arithmetic circuits).
+[[nodiscard]] SampledDelay refined_floating_delay(const Circuit& c,
+                                                  std::size_t samples,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace waveck

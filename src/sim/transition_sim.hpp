@@ -1,0 +1,52 @@
+// Two-vector transition-mode delay (paper Section 1: the method "adapts to
+// different circuit-delay modes (two-vector transition or floating mode) by
+// a simple change in the abstract waveforms applied to the inputs").
+//
+// In transition mode a specific vector pair (V1, V2) is applied: every
+// input is stable at V1[i] before time 0 and at V2[i] from time 0 on. The
+// per-pair delay of an output is the time it is guaranteed stable; the
+// transition delay of the circuit maximises over all pairs. Inputs that do
+// not toggle have last-transition time -inf; toggling inputs transition
+// exactly at 0 -- which is precisely the abstract-signal restriction
+// (class V2[i] only, interval [0,0] or [-inf,-inf]) used by
+// Verifier-level transition checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/floating_sim.hpp"
+#include "waveform/abstract_waveform.hpp"
+
+namespace waveck {
+
+/// Simulates the pair (v1 -> v2). Settle times follow the same
+/// controlled/non-controlled rules as floating mode, except a non-toggling
+/// input is stable from the start (time -inf).
+[[nodiscard]] FloatingResult simulate_transition(const Circuit& c,
+                                                 const std::vector<bool>& v1,
+                                                 const std::vector<bool>& v2);
+
+/// Worst transition settle time of net `s` over all vector pairs (2^(2n)
+/// pairs; exhaustive oracle for small circuits).
+[[nodiscard]] Time exhaustive_transition_delay(const Circuit& c, NetId s,
+                                               unsigned max_inputs = 12);
+[[nodiscard]] Time exhaustive_transition_delay(const Circuit& c,
+                                               unsigned max_inputs = 12);
+
+/// The abstract-signal restriction encoding "input i carries the
+/// transition v1 -> v2 at time 0".
+[[nodiscard]] AbstractSignal transition_input_signal(bool v1, bool v2);
+
+/// One *sensitized* path that sets the settle time of `s` under a floating
+/// or transition simulation: walks back from `s` through the input that
+/// determined each gate's settle time (the earliest controlling input, or
+/// the latest input otherwise). This is the "true path" witness
+/// accompanying a test vector.
+[[nodiscard]] std::vector<NetId> critical_true_path(const Circuit& c,
+                                                    const FloatingResult& r,
+                                                    NetId s);
+
+}  // namespace waveck

@@ -1,0 +1,143 @@
+#include "sta/path_enum.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "constraints/constraint_system.hpp"
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+
+bool statically_sensitizable(const Circuit& c,
+                             const std::vector<NetId>& path) {
+  if (path.size() < 2) return true;
+  ConstraintSystem cs(c);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const GateId drv = c.net(path[i]).driver;
+    if (!drv.valid()) return false;  // malformed path
+    const Gate& g = c.gate(drv);
+    const NetId on_path = path[i - 1];
+
+    if (has_controlling_value(g.type)) {
+      const bool nc = !controlling_value(g.type);
+      for (NetId in : g.ins) {
+        if (in == on_path) continue;
+        cs.restrict_domain(in, AbstractSignal::class_only(nc));
+      }
+    } else if (g.type == GateType::kMux) {
+      // The select must route the on-path data leg; a path through the
+      // select itself imposes no side requirement.
+      if (on_path == g.ins[1]) {
+        cs.restrict_domain(g.ins[0], AbstractSignal::class_only(false));
+      } else if (on_path == g.ins[2]) {
+        cs.restrict_domain(g.ins[0], AbstractSignal::class_only(true));
+      }
+    }
+    // XOR/XNOR and unary gates: every input value propagates; no side
+    // requirement.
+    if (cs.inconsistent()) return false;
+  }
+  return cs.reach_fixpoint() == ConstraintSystem::Status::kPossibleViolation;
+}
+
+namespace {
+
+/// Suffix arena node: net plus parent suffix (toward the output).
+struct Node {
+  NetId net;
+  std::int32_t parent;
+};
+
+struct Entry {
+  Time bound;          // top_net + suffix length: full-path upper bound
+  std::int32_t node;   // arena index of the suffix head
+  Time suffix;         // length of the suffix (node -> s)
+
+  bool operator<(const Entry& o) const { return bound < o.bound; }
+};
+
+}  // namespace
+
+PathEnumResult longest_sensitizable_path(const Circuit& c, NetId s,
+                                         const PathEnumOptions& opt) {
+  PathEnumResult res;
+  const auto top = topo_arrival(c);
+
+  std::vector<Node> arena;
+  std::priority_queue<Entry> queue;
+  arena.push_back({s, -1});
+  queue.push({top[s.index()], 0, Time(0)});
+
+  while (!queue.empty()) {
+    const Entry e = queue.top();
+    queue.pop();
+    const NetId x = arena[e.node].net;
+
+    if (!c.net(x).driver.valid()) {
+      // Complete path (x is a primary input). Bound == exact length here.
+      ++res.paths_enumerated;
+      std::vector<NetId> path;
+      for (std::int32_t n = e.node; n >= 0; n = arena[n].parent) {
+        path.push_back(arena[n].net);
+      }
+      // arena chains suffixes output-first; walking parents yields
+      // input..output order already.
+      if (statically_sensitizable(c, path)) {
+        ++res.paths_sensitizable;
+        if (e.suffix > res.delay) {
+          res.delay = e.suffix;
+          res.path = path;
+        }
+        return res;  // longest-first order: first hit is the answer
+      }
+      if (res.paths_enumerated >= opt.max_paths) {
+        res.budget_exhausted = true;
+        return res;
+      }
+      continue;
+    }
+
+    const Gate& g = c.gate(c.net(x).driver);
+    const Time nsuffix = e.suffix + g.delay.dmax;
+    if (arena.size() > 64 * opt.max_paths + (1u << 16)) {
+      res.budget_exhausted = true;  // frontier blow-up guard
+      return res;
+    }
+    for (NetId in : g.ins) {
+      if (opt.target != Time::neg_inf() &&
+          top[in.index()] + nsuffix.value() < opt.target) {
+        continue;  // cannot reach the target through this extension
+      }
+      arena.push_back({in, e.node});
+      queue.push({top[in.index()] + nsuffix.value(),
+                  std::int32_t(arena.size() - 1), nsuffix});
+    }
+  }
+  return res;
+}
+
+PathEnumResult path_enum_delay(const Circuit& c, const PathEnumOptions& opt) {
+  PathEnumResult best;
+  const auto top = topo_arrival(c);
+  std::vector<NetId> outs = c.outputs();
+  std::sort(outs.begin(), outs.end(), [&](NetId a, NetId b) {
+    return top[a.index()] > top[b.index()];
+  });
+  for (NetId o : outs) {
+    if (top[o.index()] <= best.delay) break;  // cannot improve
+    PathEnumOptions sub = opt;
+    sub.target = best.delay == Time::neg_inf() ? opt.target
+                                               : best.delay + 1;
+    const PathEnumResult r = longest_sensitizable_path(c, o, sub);
+    best.paths_enumerated += r.paths_enumerated;
+    best.paths_sensitizable += r.paths_sensitizable;
+    best.budget_exhausted |= r.budget_exhausted;
+    if (r.delay > best.delay) {
+      best.delay = r.delay;
+      best.path = r.path;
+    }
+  }
+  return best;
+}
+
+}  // namespace waveck

@@ -1,0 +1,66 @@
+// Path-oriented timing verification baseline (the approach the paper's
+// introduction contrasts with: "path oriented timing verifiers suffer from
+// poor performance as they may have to enumerate a very large number of
+// paths").
+//
+// Enumerates input->output paths in non-increasing length order (DFS guided
+// by longest-completion bounds) and tests each for *static sensitizability*
+// (Brand-Iyengar style): every side input of the path can be set to its
+// non-controlling value consistently, established by class-only constraint
+// propagation. The delay estimate is the length of the first sensitizable
+// path.
+//
+// Two well-known defects, both demonstrated in bench/tests against the
+// exact floating-mode engine:
+//  * cost: the number of near-critical paths can explode (the enumeration
+//    budget is part of the result);
+//  * accuracy: static sensitization is not a sound delay criterion under
+//    floating mode -- it can *underestimate* (a statically-unsensitizable
+//    path may still carry a glitch) and mislabel paths.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct PathEnumOptions {
+  /// Stop after this many paths were tested for sensitization.
+  std::size_t max_paths = 100000;
+  /// Stop once a sensitizable path at least this long was found
+  /// (neg_inf = find the longest sensitizable path).
+  Time target = Time::neg_inf();
+};
+
+struct PathEnumResult {
+  /// Length of the longest statically-sensitizable path found (neg_inf if
+  /// none within budget).
+  Time delay = Time::neg_inf();
+  /// The path itself (nets, input first), when found.
+  std::vector<NetId> path;
+  std::size_t paths_enumerated = 0;
+  std::size_t paths_sensitizable = 0;
+  bool budget_exhausted = false;
+};
+
+/// Longest statically-sensitizable path into output `s`.
+[[nodiscard]] PathEnumResult longest_sensitizable_path(
+    const Circuit& c, NetId s, const PathEnumOptions& opt = {});
+
+/// Circuit-level estimate: max over primary outputs.
+[[nodiscard]] PathEnumResult path_enum_delay(const Circuit& c,
+                                             const PathEnumOptions& opt = {});
+
+/// Static sensitization test for one concrete path (exposed for tests):
+/// every side input of every path gate is required to take its
+/// non-controlling value; class-only propagation decides consistency.
+/// Paths through XOR/MUX side structure impose no side-value requirement
+/// (no controlling value), matching the classic criterion.
+[[nodiscard]] bool statically_sensitizable(const Circuit& c,
+                                           const std::vector<NetId>& path);
+
+}  // namespace waveck

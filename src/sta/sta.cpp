@@ -1,0 +1,24 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+
+StaReport run_sta(const Circuit& c) {
+  StaReport r;
+  const auto top = topo_arrival(c);
+  for (NetId o : c.outputs()) {
+    r.output_arrivals.emplace_back(o, top[o.index()]);
+  }
+  std::sort(r.output_arrivals.begin(), r.output_arrivals.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (!r.output_arrivals.empty()) {
+    r.topological_delay = r.output_arrivals.front().second;
+    r.critical_path = longest_path_to(c, r.output_arrivals.front().first);
+  }
+  return r;
+}
+
+}  // namespace waveck

@@ -1,0 +1,24 @@
+// Baseline topological static timing analysis (no false-path awareness).
+//
+// This is the conservative bound the paper improves on: the topological
+// delay `top` (Table 1 column 2) and per-output arrival times. Reported
+// next to the floating-mode results to show the pessimism removed by
+// waveform narrowing.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+
+struct StaReport {
+  Time topological_delay = Time::neg_inf();
+  std::vector<std::pair<NetId, Time>> output_arrivals;  // sorted, worst first
+  std::vector<NetId> critical_path;                     // input..worst output
+};
+
+[[nodiscard]] StaReport run_sta(const Circuit& c);
+
+}  // namespace waveck

@@ -1,0 +1,73 @@
+// Case analysis by waveform splitting (paper Section 5).
+//
+// A branch-and-bound search that restricts net domains to one final class at
+// a time, propagating each decision through the narrowing engine (including
+// the dynamic-dominator implications of Figure 4), until either
+//   * every primary input is class-determined and the system is consistent
+//     -- a test vector, cross-validated against the independent floating-
+//     mode simulator -- or
+//   * all alternatives are refuted: no violation is possible.
+//
+// Decision selection follows the paper's modified FAN:
+//   * *initial objectives* sensitize the dynamic-carrier circuit Psi: inputs
+//     of Psi gates that are not carriers themselves are steered to the
+//     non-controlling value of the gate they feed;
+//   * objectives are triplets (k, n0(k), n1(k)) where n_v is the length of a
+//     path to s potentially enabled by setting k to v; at fanout stems the
+//     incoming n values combine by MAX (the paper's modification; the
+//     original FAN sum is available as an ablation);
+//   * SCOAP controllability breaks ties;
+//   * decisions run in 3 phases: between consecutive dynamic dominators
+//     (computed before any decision), then the whole carrier neighbourhood,
+//     then the output and primary inputs via complete backtrace from
+//     unjustified gates.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "analysis/carriers.hpp"
+#include "analysis/scoap.hpp"
+#include "constraints/constraint_system.hpp"
+
+namespace waveck {
+
+struct CaseAnalysisOptions {
+  std::size_t max_backtracks = 100000;
+  /// Re-run the dominator implications after every decision (the paper's
+  /// `evaluate` loop).
+  bool dominators_in_search = true;
+  /// Ablation: combine objective weights at fanout stems with SUM (original
+  /// FAN) instead of the paper's MAX.
+  bool sum_at_fanout = false;
+  /// Ablation: disable SCOAP tie-breaking.
+  bool use_scoap = true;
+  /// Ablation: collapse the 3-phase decision ordering into one phase.
+  bool three_phase = true;
+};
+
+enum class CaseResult : std::uint8_t {
+  kViolation,    // test vector found (and validated by simulation)
+  kNoViolation,  // search exhausted: no sigma-compatible assignment
+  kAbandoned,    // backtrack budget exceeded (paper's 'A' entries)
+};
+
+struct CaseAnalysisOutcome {
+  CaseResult result = CaseResult::kAbandoned;
+  std::size_t backtracks = 0;
+  std::size_t decisions = 0;
+  /// Test vector (indexed like Circuit::inputs()) when result == kViolation.
+  std::vector<bool> vector;
+};
+
+/// Runs the case analysis on a system already at a fixpoint (typically after
+/// global implications and stem correlation). `scoap` may be null. On
+/// kViolation the system is left at the satisfying state; otherwise it is
+/// restored to the entry state.
+CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
+                                      const TimingCheck& check,
+                                      const Scoap* scoap,
+                                      const CaseAnalysisOptions& opt = {});
+
+}  // namespace waveck

@@ -1,0 +1,58 @@
+#include "verify/pessimism.hpp"
+
+#include <algorithm>
+
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+
+OutputDelay exact_output_delay(Verifier& v, NetId s) {
+  const Circuit& c = v.circuit();
+  OutputDelay res;
+  res.output = s;
+  res.topological = topo_arrival(c)[s.index()];
+  if (res.topological == Time::neg_inf()) return res;
+
+  std::int64_t lo = 0;
+  std::int64_t hi = res.topological.value();
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    CheckReport rep = v.check_output(s, Time(mid));
+    res.backtracks += rep.backtracks;
+    if (rep.conclusion == CheckConclusion::kViolation) {
+      const auto sim = simulate_floating(c, *rep.vector);
+      lo = std::max(mid, sim.settle[s.index()].value());
+    } else if (rep.conclusion == CheckConclusion::kNoViolation) {
+      hi = mid - 1;
+    } else {
+      res.exact = false;
+      hi = mid - 1;
+    }
+  }
+  res.floating = Time(lo);
+  return res;
+}
+
+PessimismReport pessimism_report(Verifier& v) {
+  PessimismReport rep;
+  for (NetId o : v.circuit().outputs()) {
+    rep.outputs.push_back(exact_output_delay(v, o));
+    rep.worst_topological =
+        Time::max(rep.worst_topological, rep.outputs.back().topological);
+    rep.worst_floating =
+        Time::max(rep.worst_floating, rep.outputs.back().floating);
+  }
+  std::sort(rep.outputs.begin(), rep.outputs.end(),
+            [](const OutputDelay& a, const OutputDelay& b) {
+              const auto gap = [](const OutputDelay& d) {
+                return d.topological.is_finite() && d.floating.is_finite()
+                           ? d.topological.value() - d.floating.value()
+                           : 0;
+              };
+              return gap(a) > gap(b);
+            });
+  return rep;
+}
+
+}  // namespace waveck

@@ -1,0 +1,36 @@
+// Per-output pessimism analysis: exact floating-mode delay for every
+// primary output, next to its topological (STA) arrival. This is the
+// "useless redesign effort" view from the paper's introduction: the gap
+// between the two columns is the pessimism a topological-only tool would
+// report.
+#pragma once
+
+#include <vector>
+
+#include "verify/verifier.hpp"
+
+namespace waveck {
+
+struct OutputDelay {
+  NetId output;
+  Time topological = Time::neg_inf();
+  Time floating = Time::neg_inf();  // exact unless `exact` is false
+  bool exact = true;
+  std::size_t backtracks = 0;
+};
+
+struct PessimismReport {
+  std::vector<OutputDelay> outputs;  // sorted, most pessimistic gap first
+  Time worst_topological = Time::neg_inf();
+  Time worst_floating = Time::neg_inf();
+};
+
+/// Exact floating delay of one output by adaptive binary search (same
+/// witness-jump strategy as Verifier::exact_floating_delay, restricted to
+/// `s`).
+[[nodiscard]] OutputDelay exact_output_delay(Verifier& v, NetId s);
+
+/// Per-output sweep over all primary outputs.
+[[nodiscard]] PessimismReport pessimism_report(Verifier& v);
+
+}  // namespace waveck

@@ -1,0 +1,262 @@
+#include "verify/report_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace waveck {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal JSON writer: objects and arrays via explicit calls.
+class Json {
+ public:
+  Json& begin() { return raw("{"); }
+  Json& end() {
+    comma_ = false;
+    return raw("}");
+  }
+  Json& key(const std::string& k) {
+    sep();
+    os_ << '"' << escape(k) << "\":";
+    comma_ = false;
+    return *this;
+  }
+  Json& value(const std::string& v) {
+    sep();
+    os_ << '"' << escape(v) << '"';
+    comma_ = true;
+    return *this;
+  }
+  Json& value(const char* v) { return value(std::string(v)); }
+  Json& value(std::int64_t v) {
+    sep();
+    os_ << v;
+    comma_ = true;
+    return *this;
+  }
+  Json& value(std::size_t v) { return value(static_cast<std::int64_t>(v)); }
+  Json& value(double v) {
+    sep();
+    os_ << v;
+    comma_ = true;
+    return *this;
+  }
+  Json& value(bool v) {
+    sep();
+    os_ << (v ? "true" : "false");
+    comma_ = true;
+    return *this;
+  }
+  Json& value(Time t) {
+    if (t.is_finite()) return value(t.value());
+    return value(t.str());
+  }
+  Json& null() {
+    sep();
+    os_ << "null";
+    comma_ = true;
+    return *this;
+  }
+  Json& begin_array() {
+    sep();
+    os_ << "[";
+    comma_ = false;
+    return *this;
+  }
+  Json& end_array() {
+    os_ << "]";
+    comma_ = true;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  Json& raw(const char* s) {
+    sep();
+    os_ << s;
+    comma_ = false;
+    return *this;
+  }
+  void sep() {
+    if (comma_) os_ << ",";
+    comma_ = false;
+  }
+  std::ostringstream os_;
+  bool comma_ = false;
+};
+
+void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
+  j.key("output").value(c.net(rep.check.output).name);
+  j.key("delta").value(rep.check.delta);
+  j.key("conclusion").value(to_string(rep.conclusion));
+  j.key("stages").begin();
+  j.key("before_gitd").value(to_string(rep.before_gitd));
+  j.key("after_gitd").value(to_string(rep.after_gitd));
+  j.key("after_stem").value(to_string(rep.after_stem));
+  j.end();
+  j.key("backtracks").value(rep.backtracks);
+  j.key("decisions").value(rep.decisions);
+  j.key("gitd_rounds").value(rep.gitd_rounds);
+  j.key("stems_processed").value(rep.stems_processed);
+  j.key("seconds").value(rep.seconds);
+  j.key("vector");
+  if (rep.vector) {
+    j.value(format_vector(*rep.vector));
+  } else {
+    j.null();
+  }
+}
+
+}  // namespace
+
+std::string to_json(const Circuit& c, const CheckReport& rep) {
+  Json j;
+  j.begin();
+  j.key("circuit").value(c.name());
+  check_body(j, c, rep);
+  j.end();
+  return j.str();
+}
+
+std::string to_json(const Circuit& c, const SuiteReport& rep) {
+  Json j;
+  j.begin();
+  j.key("circuit").value(c.name());
+  j.key("delta").value(rep.delta);
+  j.key("conclusion").value(to_string(rep.conclusion));
+  j.key("stages").begin();
+  j.key("before_gitd").value(to_string(rep.before_gitd));
+  j.key("after_gitd").value(to_string(rep.after_gitd));
+  j.key("after_stem").value(to_string(rep.after_stem));
+  j.end();
+  j.key("backtracks").value(rep.backtracks);
+  j.key("seconds").value(rep.seconds);
+  j.key("vector");
+  if (rep.vector) {
+    j.value(format_vector(*rep.vector));
+  } else {
+    j.null();
+  }
+  j.key("violating_output");
+  if (rep.violating_output) {
+    j.value(c.net(*rep.violating_output).name);
+  } else {
+    j.null();
+  }
+  j.key("outputs").begin_array();
+  for (const auto& out : rep.per_output) {
+    j.begin();
+    check_body(j, c, out);
+    j.end();
+  }
+  j.end_array();
+  j.end();
+  return j.str();
+}
+
+std::string to_json(const Circuit& c,
+                    const Verifier::ExactDelayResult& res) {
+  Json j;
+  j.begin();
+  j.key("circuit").value(c.name());
+  j.key("topological_delay").value(res.topological);
+  j.key("floating_delay").value(res.delay);
+  j.key("exact").value(res.exact);
+  j.key("probes").value(res.probes);
+  j.key("total_backtracks").value(res.total_backtracks);
+  j.key("witness");
+  if (res.witness) {
+    j.value(format_vector(*res.witness));
+  } else {
+    j.null();
+  }
+  j.end();
+  return j.str();
+}
+
+std::string to_json(const Circuit& c, const PessimismReport& rep) {
+  Json j;
+  j.begin();
+  j.key("circuit").value(c.name());
+  j.key("worst_topological").value(rep.worst_topological);
+  j.key("worst_floating").value(rep.worst_floating);
+  j.key("outputs").begin_array();
+  for (const auto& od : rep.outputs) {
+    j.begin();
+    j.key("output").value(c.net(od.output).name);
+    j.key("topological").value(od.topological);
+    j.key("floating").value(od.floating);
+    j.key("exact").value(od.exact);
+    j.key("backtracks").value(od.backtracks);
+    j.end();
+  }
+  j.end_array();
+  j.end();
+  return j.str();
+}
+
+void render_timing_diagram(std::ostream& os, const Circuit& c,
+                           const FloatingResult& sim,
+                           const std::vector<NetId>& path, unsigned width) {
+  if (path.empty()) return;
+  Time horizon = Time(1);
+  std::size_t name_w = 4;
+  for (NetId n : path) {
+    horizon = Time::max(horizon, sim.settle[n.index()]);
+    name_w = std::max(name_w, c.net(n).name.size());
+  }
+  const double scale =
+      horizon.is_finite() && horizon.value() > 0
+          ? double(width) / double(horizon.value())
+          : 1.0;
+  auto col = [&](Time t) {
+    if (!t.is_finite()) return t.is_neg_inf() ? 0u : width;
+    const auto x = static_cast<long>(double(t.value()) * scale + 0.5);
+    return static_cast<unsigned>(std::clamp<long>(x, 0, width));
+  };
+
+  os << std::string(name_w + 2, ' ') << "t=0" << std::string(width - 6, ' ')
+     << horizon << "\n";
+  for (NetId n : path) {
+    const unsigned settle_col = col(sim.settle[n.index()]);
+    os << c.net(n).name << std::string(name_w - c.net(n).name.size() + 1, ' ')
+       << '|';
+    // '?' until the settle point, then the final value.
+    for (unsigned x = 0; x < width; ++x) {
+      os << (x < settle_col ? '?' : (sim.value[n.index()] ? '1' : '0'));
+    }
+    os << "|  settles@" << sim.settle[n.index()] << "\n";
+  }
+}
+
+std::string timing_diagram_string(const Circuit& c, const FloatingResult& sim,
+                                  const std::vector<NetId>& path,
+                                  unsigned width) {
+  std::ostringstream os;
+  render_timing_diagram(os, c, sim, path, width);
+  return os.str();
+}
+
+}  // namespace waveck

@@ -1,0 +1,41 @@
+// Report rendering: machine-readable JSON and human-readable ASCII timing
+// diagrams for verification results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/floating_sim.hpp"
+#include "verify/pessimism.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+
+/// JSON for a single-output check (stages, conclusion, vector, timing).
+[[nodiscard]] std::string to_json(const Circuit& c, const CheckReport& rep);
+
+/// JSON for a circuit-level check.
+[[nodiscard]] std::string to_json(const Circuit& c, const SuiteReport& rep);
+
+/// JSON for the exact-delay search result.
+[[nodiscard]] std::string to_json(const Circuit& c,
+                                  const Verifier::ExactDelayResult& res);
+
+/// JSON for the per-output pessimism report.
+[[nodiscard]] std::string to_json(const Circuit& c,
+                                  const PessimismReport& rep);
+
+/// ASCII timing diagram of a simulated witness along a path: one row per
+/// net, a time axis scaled to `width` columns, `?` marking the interval
+/// where the net may still toggle and its final value after the settle
+/// point. Rows appear input-first.
+void render_timing_diagram(std::ostream& os, const Circuit& c,
+                           const FloatingResult& sim,
+                           const std::vector<NetId>& path,
+                           unsigned width = 64);
+[[nodiscard]] std::string timing_diagram_string(
+    const Circuit& c, const FloatingResult& sim,
+    const std::vector<NetId>& path, unsigned width = 64);
+
+}  // namespace waveck

@@ -1,0 +1,96 @@
+#include "verify/stem_correlation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace waveck {
+
+StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
+                                            const TimingCheck& check,
+                                            std::span<const NetId> stems,
+                                            std::size_t max_stems) {
+  StemCorrelationStats stats;
+  if (cs.inconsistent()) {
+    stats.proved_no_violation = true;
+    return stats;
+  }
+
+  // Order stems nearest-to-the-output first: their split prunes the region
+  // the violation must come from.
+  CarrierSet carriers = dynamic_carriers(cs, check);
+  std::vector<NetId> work(stems.begin(), stems.end());
+  std::erase_if(work, [&](NetId n) { return !carriers.is_carrier(n); });
+  std::sort(work.begin(), work.end(), [&](NetId a, NetId b) {
+    return carriers.distance[a.index()] < carriers.distance[b.index()];
+  });
+  if (work.size() > max_stems) work.resize(max_stems);
+
+  for (NetId stem : work) {
+    const AbstractSignal& dom = cs.domain(stem);
+    if (dom.is_bottom() || dom.single_class()) continue;
+
+    std::unordered_map<NetId, AbstractSignal> branch0;
+    bool ok0 = false, ok1 = false;
+
+    {
+      const auto mark = cs.push_state();
+      cs.restrict_domain(stem, AbstractSignal::class_only(false));
+      ok0 = cs.reach_fixpoint() ==
+            ConstraintSystem::Status::kPossibleViolation;
+      if (ok0) {
+        for (NetId n : cs.changed_since(mark)) {
+          branch0.emplace(n, cs.domain(n));
+        }
+      }
+      cs.pop_to(mark);
+    }
+    std::unordered_map<NetId, AbstractSignal> branch1;
+    {
+      const auto mark = cs.push_state();
+      cs.restrict_domain(stem, AbstractSignal::class_only(true));
+      ok1 = cs.reach_fixpoint() ==
+            ConstraintSystem::Status::kPossibleViolation;
+      if (ok1) {
+        for (NetId n : cs.changed_since(mark)) {
+          branch1.emplace(n, cs.domain(n));
+        }
+      }
+      cs.pop_to(mark);
+    }
+
+    ++stats.stems_processed;
+    if (!ok0 && !ok1) {
+      // Neither class admits a solution: the whole check is inconsistent.
+      cs.restrict_domain(stem, AbstractSignal::bottom());
+      stats.proved_no_violation = true;
+      return stats;
+    }
+    if (ok0 != ok1) {
+      // Necessary assignment: keep the surviving class and its propagation.
+      ++stats.one_sided;
+      cs.restrict_domain(stem, AbstractSignal::class_only(ok1));
+      if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
+        stats.proved_no_violation = true;
+        return stats;
+      }
+      continue;
+    }
+    // Both classes alive: D_X := D_X0 u D_X1 for nets narrowed in both
+    // branches (a net untouched by a branch keeps its pre-split value there,
+    // so only the intersection of the changed sets can narrow).
+    for (const auto& [net, v0] : branch0) {
+      const auto it = branch1.find(net);
+      if (it == branch1.end()) continue;
+      const AbstractSignal united = v0.unite(it->second);
+      if (cs.restrict_domain(net, united)) ++stats.domains_narrowed;
+    }
+    if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
+      stats.proved_no_violation = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace waveck

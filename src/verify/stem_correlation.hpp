@@ -1,0 +1,35 @@
+// Stem correlation (paper Section 5, pre-processing stage).
+//
+// For a reconvergent fanout stem Y that is a dynamic carrier, compute the
+// fixpoint twice -- once with Y restricted to class 0, once to class 1 --
+// and replace every domain D_X by the hull union of its two branch values.
+// Waveforms incompatible with *both* classes of Y disappear without taking
+// any decision. A branch that propagates to a contradiction proves the
+// other class outright (a necessary assignment).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "analysis/carriers.hpp"
+#include "constraints/constraint_system.hpp"
+
+namespace waveck {
+
+struct StemCorrelationStats {
+  std::size_t stems_processed = 0;
+  std::size_t domains_narrowed = 0;
+  std::size_t one_sided = 0;  // stems whose one class was refuted
+  bool proved_no_violation = false;
+};
+
+/// Runs stem correlation over `stems` (typically the circuit's reconvergent
+/// fanout stems), skipping nets that are not dynamic carriers or are already
+/// single-class. At most `max_stems` carrier stems (nearest the output
+/// first) are split -- a cost cap for very large circuits. The system must
+/// be at a fixpoint on entry and is left at a fixpoint.
+StemCorrelationStats apply_stem_correlation(
+    ConstraintSystem& cs, const TimingCheck& check,
+    std::span<const NetId> stems, std::size_t max_stems = SIZE_MAX);
+
+}  // namespace waveck

@@ -1,0 +1,331 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+
+#include "analysis/delay_correlation.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+#include "sim/transition_sim.hpp"
+#include "verify/stem_correlation.hpp"
+
+namespace waveck {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+StageStatus status_of(ConstraintSystem::Status s) {
+  return s == ConstraintSystem::Status::kNoViolation
+             ? StageStatus::kNoViolation
+             : StageStatus::kPossible;
+}
+
+/// Worst-of for stage aggregation: P dominates N dominates NotRun.
+StageStatus aggregate(StageStatus a, StageStatus b) {
+  if (a == StageStatus::kPossible || b == StageStatus::kPossible) {
+    return StageStatus::kPossible;
+  }
+  if (a == StageStatus::kNoViolation || b == StageStatus::kNoViolation) {
+    return StageStatus::kNoViolation;
+  }
+  return StageStatus::kNotRun;
+}
+
+}  // namespace
+
+Verifier::Verifier(const Circuit& c, VerifyOptions opt)
+    : c_(c), opt_(opt) {}
+
+const LearningResult& Verifier::learning() {
+  if (!learning_) {
+    learning_ = opt_.use_learning ? learn_implications(c_, opt_.learning)
+                                  : LearningResult{};
+  }
+  return *learning_;
+}
+
+const Scoap& Verifier::scoap() {
+  if (!scoap_) scoap_ = compute_scoap(c_);
+  return *scoap_;
+}
+
+const std::vector<NetId>& Verifier::reconvergent_stems() {
+  if (!stems_) {
+    std::vector<NetId> stems;
+    for (NetId n : c_.fanout_stems()) {
+      if (c_.is_reconvergent_stem(n)) stems.push_back(n);
+    }
+    stems_ = std::move(stems);
+  }
+  return *stems_;
+}
+
+CheckReport Verifier::check_output(NetId s, Time delta) {
+  if (!opt_.use_delay_correlation) {
+    return run_check(c_, nullptr, s, delta);
+  }
+  // Correlation narrows delay intervals per check: work on a private copy.
+  Circuit copy = c_;
+  return run_check(copy, &copy, s, delta);
+}
+
+CheckReport Verifier::check_transition(NetId s, Time delta,
+                                       const std::vector<bool>& v1,
+                                       const std::vector<bool>& v2) {
+  std::vector<AbstractSignal> inputs;
+  inputs.reserve(v1.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    inputs.push_back(transition_input_signal(v1[i], v2[i]));
+  }
+  CheckReport rep;
+  if (!opt_.use_delay_correlation) {
+    rep = run_check(c_, nullptr, s, delta, &inputs);
+  } else {
+    Circuit copy = c_;
+    rep = run_check(copy, &copy, s, delta, &inputs);
+  }
+  // The case-analysis validator uses the floating-mode simulator, which is
+  // an over-approximation here (it assumes unknown pre-history even on
+  // non-toggling inputs): confirm any violation against the exact
+  // two-vector simulation.
+  if (rep.conclusion == CheckConclusion::kViolation) {
+    const auto sim = simulate_transition(c_, v1, v2);
+    if (sim.settle[s.index()] < delta) {
+      rep.conclusion = CheckConclusion::kNoViolation;
+      rep.vector.reset();
+    } else {
+      rep.vector = v2;
+    }
+  }
+  return rep;
+}
+
+CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
+                                NetId s, Time delta,
+                                const std::vector<AbstractSignal>* input_override) {
+  const auto t0 = Clock::now();
+  CheckReport rep;
+  rep.check = TimingCheck{s, delta};
+
+  ConstraintSystem cs(c);
+  if (opt_.use_learning) {
+    cs.set_implications(&learning().table);
+  }
+
+  // Initial domains (Section 3.3): floating-mode inputs, the delta
+  // restriction on s, everything else top; then the globally-impossible
+  // classes found by learning.
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    cs.restrict_domain(c.inputs()[i],
+                       input_override != nullptr
+                           ? (*input_override)[i]
+                           : AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::violating(delta));
+  if (opt_.use_learning) {
+    for (const auto& [net, cls] : learning().impossible) {
+      cs.restrict_domain(net, AbstractSignal::class_only(!cls));
+    }
+  }
+  cs.schedule_all();
+
+  // Stage 1: plain narrowing fixpoint.
+  rep.before_gitd = status_of(cs.reach_fixpoint());
+  if (rep.before_gitd == StageStatus::kNoViolation) {
+    rep.conclusion = CheckConclusion::kNoViolation;
+    rep.seconds = seconds_since(t0);
+    return rep;
+  }
+
+  // Stage 1.5 (extension, reference [1]): correlated delay narrowing.
+  if (mutable_c != nullptr) {
+    const auto stats = apply_delay_correlation(cs, *mutable_c);
+    rep.correlated_delay_narrowings = stats.gates_narrowed;
+    if (stats.proved_no_violation) {
+      rep.before_gitd = StageStatus::kNoViolation;
+      rep.conclusion = CheckConclusion::kNoViolation;
+      rep.seconds = seconds_since(t0);
+      return rep;
+    }
+  }
+
+  // Stage 2: global implications on dynamic timing dominators (Figure 4).
+  if (opt_.use_dominators) {
+    rep.after_gitd = StageStatus::kPossible;
+    for (;;) {
+      ++rep.gitd_rounds;
+      if (apply_dominator_implications(cs, rep.check) == 0) break;
+      if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
+        rep.after_gitd = StageStatus::kNoViolation;
+        break;
+      }
+    }
+    if (rep.after_gitd == StageStatus::kNoViolation) {
+      rep.conclusion = CheckConclusion::kNoViolation;
+      rep.seconds = seconds_since(t0);
+      return rep;
+    }
+  }
+
+  // Stage 3: stem correlation.
+  if (opt_.use_stem_correlation) {
+    const auto stats = apply_stem_correlation(cs, rep.check,
+                                              reconvergent_stems(),
+                                              opt_.max_stems);
+    rep.stems_processed = stats.stems_processed;
+    if (stats.proved_no_violation ||
+        (opt_.use_dominators &&
+         [&] {  // re-run the dominator loop on the correlated domains
+           for (;;) {
+             if (apply_dominator_implications(cs, rep.check) == 0)
+               return false;
+             if (cs.reach_fixpoint() ==
+                 ConstraintSystem::Status::kNoViolation)
+               return true;
+           }
+         }())) {
+      rep.after_stem = StageStatus::kNoViolation;
+      rep.conclusion = CheckConclusion::kNoViolation;
+      rep.seconds = seconds_since(t0);
+      return rep;
+    }
+    rep.after_stem = StageStatus::kPossible;
+  }
+
+  // Stage 4: case analysis.
+  if (!opt_.use_case_analysis) {
+    rep.conclusion = CheckConclusion::kPossible;
+    rep.seconds = seconds_since(t0);
+    return rep;
+  }
+  const Scoap* sc =
+      opt_.case_analysis.use_scoap ? &scoap() : nullptr;
+  const auto outcome =
+      run_case_analysis(cs, rep.check, sc, opt_.case_analysis);
+  rep.backtracks = outcome.backtracks;
+  rep.decisions = outcome.decisions;
+  switch (outcome.result) {
+    case CaseResult::kViolation:
+      rep.conclusion = CheckConclusion::kViolation;
+      rep.vector = outcome.vector;
+      break;
+    case CaseResult::kNoViolation:
+      rep.conclusion = CheckConclusion::kNoViolation;
+      break;
+    case CaseResult::kAbandoned:
+      rep.conclusion = CheckConclusion::kAbandoned;
+      break;
+  }
+  rep.seconds = seconds_since(t0);
+  return rep;
+}
+
+SuiteReport Verifier::check_circuit(Time delta) {
+  const auto t0 = Clock::now();
+  SuiteReport suite;
+  suite.delta = delta;
+  suite.conclusion = CheckConclusion::kNoViolation;
+
+  // Check outputs worst-arrival first: a violation, if any, is likeliest on
+  // the topologically-slowest output.
+  const auto top = topo_arrival(c_);
+  std::vector<NetId> outs = c_.outputs();
+  std::sort(outs.begin(), outs.end(), [&](NetId a, NetId b) {
+    return top[a.index()] > top[b.index()];
+  });
+
+  for (NetId s : outs) {
+    if (top[s.index()] < delta) {
+      // STA already proves this output safe; the paper's tool would reach
+      // the same N before G.I.T.D. (no static carriers).
+      CheckReport rep;
+      rep.check = TimingCheck{s, delta};
+      rep.before_gitd = StageStatus::kNoViolation;
+      rep.conclusion = CheckConclusion::kNoViolation;
+      suite.per_output.push_back(std::move(rep));
+      suite.before_gitd =
+          aggregate(suite.before_gitd, StageStatus::kNoViolation);
+      continue;
+    }
+    CheckReport rep = check_output(s, delta);
+    suite.before_gitd = aggregate(suite.before_gitd, rep.before_gitd);
+    suite.after_gitd = aggregate(suite.after_gitd, rep.after_gitd);
+    suite.after_stem = aggregate(suite.after_stem, rep.after_stem);
+    suite.backtracks += rep.backtracks;
+
+    if (rep.conclusion == CheckConclusion::kViolation) {
+      suite.conclusion = CheckConclusion::kViolation;
+      suite.vector = rep.vector;
+      suite.violating_output = s;
+      suite.per_output.push_back(std::move(rep));
+      break;  // one witness settles the circuit-level question
+    }
+    if (rep.conclusion == CheckConclusion::kAbandoned &&
+        suite.conclusion != CheckConclusion::kViolation) {
+      suite.conclusion = CheckConclusion::kAbandoned;
+    }
+    if (rep.conclusion == CheckConclusion::kPossible &&
+        suite.conclusion == CheckConclusion::kNoViolation) {
+      suite.conclusion = CheckConclusion::kPossible;
+    }
+    suite.per_output.push_back(std::move(rep));
+  }
+  suite.seconds = seconds_since(t0);
+  return suite;
+}
+
+Verifier::ExactDelayResult Verifier::exact_floating_delay() {
+  ExactDelayResult res;
+  res.topological = topological_delay(c_);
+  if (res.topological == Time::neg_inf()) return res;
+
+  // Invariant: violation exists at every delta <= lo (witnessed), none at
+  // delta > hi.
+  std::int64_t lo = 0;
+  std::int64_t hi = res.topological.value();
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    ++res.probes;
+    SuiteReport r = check_circuit(Time(mid));
+    res.total_backtracks += r.backtracks;
+    if (r.conclusion == CheckConclusion::kViolation) {
+      // Jump: the witness's true settle time is a valid lower bound.
+      const auto sim = simulate_floating(c_, *r.vector);
+      Time settle = Time::neg_inf();
+      for (NetId o : c_.outputs()) {
+        settle = Time::max(settle, sim.settle[o.index()]);
+      }
+      lo = std::max(mid, settle.value());
+      res.witness = r.vector;
+      res.witness_output = r.violating_output;
+    } else if (r.conclusion == CheckConclusion::kNoViolation) {
+      hi = mid - 1;
+    } else {
+      // Abandoned/possible: cannot decide exactly; keep the sound bounds.
+      res.exact = false;
+      hi = mid - 1;  // treat as "not proven": report the largest witnessed
+    }
+  }
+  res.delay = Time(lo);
+  if (lo == 0 && !res.witness) {
+    // Re-derive the trivial witness at delta = 0 for completeness.
+    SuiteReport r = check_circuit(Time(0));
+    if (r.conclusion == CheckConclusion::kViolation) {
+      res.witness = r.vector;
+      res.witness_output = r.violating_output;
+    }
+  }
+  return res;
+}
+
+std::string format_vector(const std::vector<bool>& v) {
+  std::string s;
+  s.reserve(v.size());
+  for (bool b : v) s += b ? '1' : '0';
+  return s;
+}
+
+}  // namespace waveck

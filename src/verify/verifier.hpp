@@ -1,0 +1,161 @@
+// Top-level timing verifier (paper Figure 4 plus the Section 5 stages).
+//
+// For a timing check sigma = (xi, s, delta) the verifier runs, in order:
+//   1. waveform-narrowing fixpoint (with static-learning implications),
+//   2. the global-implication loop on dynamic timing dominators (G.I.T.D.),
+//   3. stem correlation on reconvergent dynamic-carrier stems,
+//   4. FAN-based case analysis,
+// recording the paper's Table 1 stage columns (P/N after each stage), the
+// backtrack count, the test vector if one exists, and wall-clock time.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/carriers.hpp"
+#include "analysis/learning.hpp"
+#include "analysis/scoap.hpp"
+#include "verify/case_analysis.hpp"
+
+namespace waveck {
+
+struct VerifyOptions {
+  bool use_learning = true;
+  /// Component delay correlation (reference [1]): narrow shared delay
+  /// variables by relational interval arithmetic between the fixpoint
+  /// stages. Only useful when DelaySpec::group ids are assigned; the check
+  /// then runs on a private copy of the circuit (the narrowed intervals are
+  /// check-specific).
+  bool use_delay_correlation = false;
+  bool use_dominators = true;        // stage 2 (G.I.T.D.)
+  bool use_stem_correlation = true;  // stage 3
+  std::size_t max_stems = SIZE_MAX;  // stage-3 cost cap for huge circuits
+  bool use_case_analysis = true;     // stage 4
+  CaseAnalysisOptions case_analysis;
+  LearningOptions learning;
+};
+
+enum class StageStatus : std::uint8_t {
+  kNotRun,      // the paper's '-' (earlier stage already concluded)
+  kPossible,    // 'P'
+  kNoViolation  // 'N'
+};
+
+[[nodiscard]] constexpr const char* to_string(StageStatus s) {
+  switch (s) {
+    case StageStatus::kNotRun: return "-";
+    case StageStatus::kPossible: return "P";
+    case StageStatus::kNoViolation: return "N";
+  }
+  return "?";
+}
+
+enum class CheckConclusion : std::uint8_t {
+  kNoViolation,  // proved: s cannot transition at/after delta
+  kViolation,    // test vector found
+  kAbandoned,    // case-analysis budget exceeded
+  kPossible,     // narrowing says possible; case analysis disabled
+};
+
+[[nodiscard]] constexpr const char* to_string(CheckConclusion c) {
+  switch (c) {
+    case CheckConclusion::kNoViolation: return "N";
+    case CheckConclusion::kViolation: return "V";
+    case CheckConclusion::kAbandoned: return "A";
+    case CheckConclusion::kPossible: return "P";
+  }
+  return "?";
+}
+
+struct CheckReport {
+  TimingCheck check{};
+  StageStatus before_gitd = StageStatus::kNotRun;
+  StageStatus after_gitd = StageStatus::kNotRun;
+  StageStatus after_stem = StageStatus::kNotRun;
+  CheckConclusion conclusion = CheckConclusion::kPossible;
+  std::size_t backtracks = 0;
+  std::size_t decisions = 0;
+  std::size_t gitd_rounds = 0;
+  std::size_t stems_processed = 0;
+  std::size_t correlated_delay_narrowings = 0;
+  std::optional<std::vector<bool>> vector;  // indexed like Circuit::inputs()
+  double seconds = 0.0;
+};
+
+/// Aggregate over every primary output (the paper's Table 1 row semantics:
+/// a stage shows N only when it eliminates the violation on all outputs).
+struct SuiteReport {
+  Time delta{};
+  StageStatus before_gitd = StageStatus::kNotRun;
+  StageStatus after_gitd = StageStatus::kNotRun;
+  StageStatus after_stem = StageStatus::kNotRun;
+  CheckConclusion conclusion = CheckConclusion::kPossible;
+  std::size_t backtracks = 0;
+  std::optional<std::vector<bool>> vector;
+  std::optional<NetId> violating_output;
+  std::vector<CheckReport> per_output;
+  double seconds = 0.0;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const Circuit& c, VerifyOptions opt = {});
+
+  /// Single-output timing check (the paper's verify(xi, s, delta)).
+  [[nodiscard]] CheckReport check_output(NetId s, Time delta);
+
+  /// Two-vector transition-mode check: inputs carry exactly the v1 -> v2
+  /// transition at time 0 (non-toggling inputs are constant). Same engine;
+  /// only the input abstract waveforms change (paper Section 1).
+  [[nodiscard]] CheckReport check_transition(NetId s, Time delta,
+                                             const std::vector<bool>& v1,
+                                             const std::vector<bool>& v2);
+
+  /// Checks delta against every primary output. Outputs whose topological
+  /// arrival is below delta are trivially N and skipped.
+  [[nodiscard]] SuiteReport check_circuit(Time delta);
+
+  struct ExactDelayResult {
+    Time delay = Time::neg_inf();        // exact floating-mode delay
+    Time topological = Time::neg_inf();  // STA bound, for comparison
+    std::optional<std::vector<bool>> witness;
+    std::optional<NetId> witness_output;
+    std::size_t probes = 0;
+    std::size_t total_backtracks = 0;
+    bool exact = true;  // false if some probe was abandoned
+  };
+  /// Exact floating-mode circuit delay by adaptive binary search on delta,
+  /// using found vectors' simulated settle times to jump the lower bound.
+  [[nodiscard]] ExactDelayResult exact_floating_delay();
+
+  [[nodiscard]] const Circuit& circuit() const { return c_; }
+  [[nodiscard]] const VerifyOptions& options() const { return opt_; }
+
+  /// Lazily computed shared analyses (exposed for benches/tests).
+  [[nodiscard]] const LearningResult& learning();
+  [[nodiscard]] const Scoap& scoap();
+  [[nodiscard]] const std::vector<NetId>& reconvergent_stems();
+
+ private:
+  /// `mutable_c` is non-null (and aliases `c`) when delay correlation may
+  /// write narrowed intervals back. `input_override`, when non-null, gives
+  /// the initial domain of each primary input (indexed like
+  /// Circuit::inputs()) instead of the floating-mode default.
+  CheckReport run_check(const Circuit& c, Circuit* mutable_c, NetId s,
+                        Time delta,
+                        const std::vector<AbstractSignal>* input_override =
+                            nullptr);
+
+  const Circuit& c_;
+  VerifyOptions opt_;
+  std::optional<LearningResult> learning_;
+  std::optional<Scoap> scoap_;
+  std::optional<std::vector<NetId>> stems_;
+};
+
+/// Formats a vector as a 0/1 string in Circuit::inputs() order.
+[[nodiscard]] std::string format_vector(const std::vector<bool>& v);
+
+}  // namespace waveck

@@ -1,0 +1,224 @@
+#include "analysis/carriers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(StaticCarriers, HrapcenkoAtDelta61) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const CarrierSet set = static_carriers(c, {s, Time(61)});
+  // Only nets on paths of length >= 61 qualify: the long chain, not n5.
+  EXPECT_TRUE(set.is_carrier(s));
+  EXPECT_TRUE(set.is_carrier(*c.find_net("n7")));
+  EXPECT_TRUE(set.is_carrier(*c.find_net("n6")));
+  EXPECT_TRUE(set.is_carrier(*c.find_net("n1")));
+  EXPECT_TRUE(set.is_carrier(*c.find_net("e1")));
+  EXPECT_FALSE(set.is_carrier(*c.find_net("n5")));  // longest through = 60
+  EXPECT_FALSE(set.is_carrier(*c.find_net("e6")));
+}
+
+TEST(StaticCarriers, DistancesAreTopoToTarget) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const CarrierSet set = static_carriers(c, {s, Time(61)});
+  EXPECT_EQ(set.distance[s.index()], Time(0));
+  EXPECT_EQ(set.distance[c.find_net("n7")->index()], Time(10));
+  EXPECT_EQ(set.distance[c.find_net("n1")->index()], Time(60));
+}
+
+TEST(StaticCarriers, NoneAboveTopologicalDelay) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const CarrierSet set = static_carriers(c, {s, Time(71)});
+  EXPECT_EQ(set.count(), 0u);
+}
+
+TEST(StaticCarriers, EverythingAtDeltaZero) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const CarrierSet set = static_carriers(c, {s, Time(0)});
+  // Every net reaching s qualifies.
+  EXPECT_TRUE(set.is_carrier(*c.find_net("n5")));
+  EXPECT_TRUE(set.is_carrier(*c.find_net("e6")));
+}
+
+TEST(TimingDominators, HrapcenkoChainIsDominatorChain) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const TimingCheck check{s, Time(61)};
+  const auto doms = timing_dominators(c, check, static_carriers(c, check));
+  // The single long path: every net on it dominates.
+  std::vector<std::string> names;
+  for (NetId d : doms) names.push_back(c.net(d).name);
+  const std::vector<std::string> expect{"s", "n7", "n6", "n4",
+                                        "n3", "n2", "n1"};
+  ASSERT_GE(names.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(names[i], expect[i]) << i;
+  }
+}
+
+TEST(TimingDominators, DiamondHasOnlyEndpoints) {
+  // s = AND(x, y), x = NOT(a), y = BUF(a): both branches equal length; only
+  // s and a dominate.
+  Circuit c("diamond");
+  const NetId a = c.add_net("a"), x = c.add_net("x"), y = c.add_net("y"),
+              s = c.add_net("s");
+  c.declare_input(a);
+  c.add_gate(GateType::kNot, x, {a}, DelaySpec::fixed(10));
+  c.add_gate(GateType::kBuf, y, {a}, DelaySpec::fixed(10));
+  c.add_gate(GateType::kAnd, s, {x, y}, DelaySpec::fixed(10));
+  c.declare_output(s);
+  c.finalize();
+  const TimingCheck check{s, Time(20)};
+  const auto doms = timing_dominators(c, check, static_carriers(c, check));
+  std::vector<std::string> names;
+  for (NetId d : doms) names.push_back(c.net(d).name);
+  EXPECT_EQ(names, (std::vector<std::string>{"s", "a"}));
+}
+
+TEST(DynamicCarriers, SubsetOfStaticAfterFixpoint) {
+  // Once the forward narrowing has bounded every net's latest transition by
+  // its topological arrival, the Def. 7 test is at least as strong as the
+  // Def. 4 one: dynamic carriers are a subset of static carriers.
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const TimingCheck check{s, Time(55)};  // violation exists (floating = 60)
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::violating(Time(55)));
+  cs.schedule_all();
+  ASSERT_EQ(cs.reach_fixpoint(),
+            ConstraintSystem::Status::kPossibleViolation);
+  const CarrierSet dyn = dynamic_carriers(cs, check);
+  const CarrierSet stat = static_carriers(c, check);
+  EXPECT_TRUE(dyn.is_carrier(s));
+  for (NetId n : c.all_nets()) {
+    if (dyn.is_carrier(n)) {
+      EXPECT_TRUE(stat.is_carrier(n)) << c.net(n).name;
+      EXPECT_LE(dyn.distance[n.index()], stat.distance[n.index()])
+          << c.net(n).name;
+    }
+  }
+}
+
+TEST(DynamicCarriers, NarrowedDomainsShrinkCarrierSet) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const TimingCheck check{s, Time(61)};
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::violating(Time(61)));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  // Narrowing empties everything here (Example 2): no carriers remain.
+  EXPECT_TRUE(cs.inconsistent());
+  const CarrierSet dyn = dynamic_carriers(cs, check);
+  EXPECT_FALSE(dyn.is_carrier(s));
+}
+
+TEST(DynamicCarriers, CarrySkipDominatorsIncludeBlockCarries) {
+  // Paper Section 4: all paths to the final carry longer than the skip
+  // route pass through the block-carry nets.
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout = *c.find_net("cout");
+  const Time top = topo_arrival(c)[cout.index()];
+  const TimingCheck check{cout, top};  // require the full topological path
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(cout, AbstractSignal::violating(top));
+  const auto doms =
+      timing_dominators(c, check, dynamic_carriers(cs, check));
+  std::vector<std::string> names;
+  for (NetId d : doms) names.push_back(c.net(d).name);
+  // The block-carry boundary nets bc4..bc16 must all appear.
+  for (const char* bc : {"bc4", "bc8", "bc12", "bc16"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), bc), names.end()) << bc;
+  }
+}
+
+TEST(DominatorImplications, NarrowsDominatorsOnly) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout = *c.find_net("cout");
+  const Time top = topo_arrival(c)[cout.index()];
+  // Largest delta the plain fixpoint cannot refute.
+  Time delta = top;
+  for (; delta > Time(0); delta = delta - 10) {
+    ConstraintSystem probe(c);
+    for (NetId in : c.inputs()) {
+      probe.restrict_domain(in, AbstractSignal::floating_input());
+    }
+    probe.restrict_domain(cout, AbstractSignal::violating(delta));
+    probe.schedule_all();
+    if (probe.reach_fixpoint() ==
+        ConstraintSystem::Status::kPossibleViolation) {
+      break;
+    }
+  }
+  ASSERT_GT(delta, Time(0));
+  const TimingCheck check{cout, delta};
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(cout, AbstractSignal::violating(delta));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  const auto doms = timing_dominators(c, check, dynamic_carriers(cs, check));
+  const std::size_t changed = apply_dominator_implications(cs, check);
+  // Corollary 1 adds information whenever a dominator beyond s exists whose
+  // domain has not already been narrowed to the implied interval.
+  if (doms.size() > 1) {
+    EXPECT_GT(changed, 0u);
+  }
+}
+
+TEST(StaticDominatorImplications, WeakerThanDynamic) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout = *c.find_net("cout");
+  const Time top = topo_arrival(c)[cout.index()];
+  const TimingCheck check{cout, top};
+
+  auto run = [&](bool dynamic) {
+    ConstraintSystem cs(c);
+    for (NetId in : c.inputs()) {
+      cs.restrict_domain(in, AbstractSignal::floating_input());
+    }
+    cs.restrict_domain(cout, AbstractSignal::violating(top));
+    cs.schedule_all();
+    cs.reach_fixpoint();
+    std::size_t rounds = 0;
+    for (;;) {
+      const std::size_t n = dynamic
+                                ? apply_dominator_implications(cs, check)
+                                : apply_static_dominator_implications(cs, check);
+      if (n == 0 || cs.inconsistent()) break;
+      cs.reach_fixpoint();
+      if (++rounds > 100) break;
+    }
+    return cs.inconsistent();
+  };
+  const bool dyn_closed = run(true);
+  const bool stat_closed = run(false);
+  // Dynamic implications are at least as strong as static ones.
+  EXPECT_GE(int{dyn_closed}, int{stat_closed});
+}
+
+}  // namespace
+}  // namespace waveck

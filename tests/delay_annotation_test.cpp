@@ -1,0 +1,84 @@
+#include "netlist/delay_annotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(DelayAnnotation, AppliesPerNetRecords) {
+  Circuit c = gen::c17();
+  const std::size_t n = read_delays_string("10 2 5\n11 1 4\n", c);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(c.gate(c.net(*c.find_net("10")).driver).delay, DelaySpec(2, 5));
+  EXPECT_EQ(c.gate(c.net(*c.find_net("11")).driver).delay, DelaySpec(1, 4));
+  // Unannotated gates keep their zero delay.
+  EXPECT_EQ(c.gate(c.net(*c.find_net("22")).driver).delay, DelaySpec{});
+}
+
+TEST(DelayAnnotation, DefaultRecordCoversTheRest) {
+  Circuit c = gen::c17();
+  const std::size_t n = read_delays_string("* 3 7\n10 1 1\n", c);
+  EXPECT_EQ(n, 6u);
+  EXPECT_EQ(c.gate(c.net(*c.find_net("10")).driver).delay, DelaySpec(1, 1));
+  EXPECT_EQ(c.gate(c.net(*c.find_net("23")).driver).delay, DelaySpec(3, 7));
+}
+
+TEST(DelayAnnotation, CommentsIgnored) {
+  Circuit c = gen::c17();
+  EXPECT_EQ(read_delays_string("# nothing\n  \n10 2 2 # inline\n", c), 1u);
+}
+
+TEST(DelayAnnotation, Rejections) {
+  Circuit c = gen::c17();
+  EXPECT_THROW(read_delays_string("10 5 2\n", c), ParseError);   // dmin > dmax
+  EXPECT_THROW(read_delays_string("10 -1 2\n", c), ParseError);  // negative
+  EXPECT_THROW(read_delays_string("nope 1 2\n", c), ParseError); // unknown net
+  EXPECT_THROW(read_delays_string("1 1 2\n", c), ParseError);    // primary in
+  EXPECT_THROW(read_delays_string("10 1\n", c), ParseError);     // malformed
+}
+
+TEST(DelayAnnotation, RoundTrip) {
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec{2, 9});
+  std::ostringstream os;
+  write_delays(os, c);
+  Circuit c2 = gen::c17();
+  read_delays_string(os.str(), c2);
+  for (GateId g : c.all_gates()) {
+    EXPECT_EQ(c2.gate(g).delay, DelaySpec(2, 9));
+  }
+}
+
+TEST(DelayAnnotation, CorrelationGroupsParsedAndWritten) {
+  Circuit c = gen::c17();
+  read_delays_string("10 2 5 3\n11 1 4\n* 0 9 7\n", c);
+  EXPECT_EQ(c.gate(c.net(*c.find_net("10")).driver).delay.group, 3);
+  EXPECT_EQ(c.gate(c.net(*c.find_net("11")).driver).delay.group, -1);
+  EXPECT_EQ(c.gate(c.net(*c.find_net("22")).driver).delay.group, 7);
+  EXPECT_THROW(read_delays_string("10 1 2 -4\n", c), ParseError);
+
+  std::ostringstream os;
+  write_delays(os, c);
+  Circuit c2 = gen::c17();
+  read_delays_string(os.str(), c2);
+  for (GateId g : c.all_gates()) {
+    EXPECT_EQ(c2.gate(g).delay, c.gate(g).delay);
+  }
+}
+
+TEST(DelayAnnotation, AffectsTopologicalDelay) {
+  Circuit c = gen::c17();
+  read_delays_string("* 10 10\n", c);
+  EXPECT_EQ(topological_delay(c), Time(30));  // 3 NAND levels
+  read_delays_string("* 10 20\n", c);
+  EXPECT_EQ(topological_delay(c), Time(60));
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,137 @@
+// Property tests: on randomly generated circuits the verifier's
+// exact_floating_delay must equal the exhaustive floating-mode oracle, and
+// every NoViolation answer must be sound at each delta.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+#include "netlist/transforms.hpp"
+#include "sim/floating_sim.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+class ExactnessOnRandomCircuits : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactnessOnRandomCircuits, VerifierMatchesOracle) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 7;
+  cfg.gates = 24;
+  cfg.outputs = 4;
+  cfg.seed = GetParam();
+  const Circuit c = gen::random_circuit(cfg);
+  const Time oracle = exhaustive_floating_delay(c);
+
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact) << "seed " << cfg.seed;
+  EXPECT_EQ(res.delay, oracle) << "seed " << cfg.seed;
+  if (res.witness) {
+    const auto sim = simulate_floating(c, *res.witness);
+    Time settle = Time::neg_inf();
+    for (NetId o : c.outputs()) {
+      settle = Time::max(settle, sim.settle[o.index()]);
+    }
+    EXPECT_EQ(settle, res.delay);
+  }
+}
+
+TEST_P(ExactnessOnRandomCircuits, PerDeltaSoundness) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 18;
+  cfg.outputs = 3;
+  cfg.seed = GetParam() * 977 + 5;
+  const Circuit c = gen::random_circuit(cfg);
+  const Time oracle = exhaustive_floating_delay(c);
+  Verifier v(c);
+  // Probe around the oracle value: below or at -> violation; above -> N.
+  for (std::int64_t delta :
+       {oracle.value() - 3, oracle.value(), oracle.value() + 1,
+        oracle.value() + 7}) {
+    if (delta < 0) continue;
+    const auto rep = v.check_circuit(Time(delta));
+    if (Time(delta) <= oracle) {
+      EXPECT_EQ(rep.conclusion, CheckConclusion::kViolation)
+          << "seed " << cfg.seed << " delta " << delta;
+    } else {
+      EXPECT_EQ(rep.conclusion, CheckConclusion::kNoViolation)
+          << "seed " << cfg.seed << " delta " << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactnessOnRandomCircuits,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class ExactnessWithMux : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactnessWithMux, VerifierMatchesOracle) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 16;
+  cfg.outputs = 3;
+  cfg.with_mux = true;
+  cfg.seed = GetParam() * 31 + 7;
+  const Circuit c = gen::random_circuit(cfg);
+  const Time oracle = exhaustive_floating_delay(c);
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_EQ(res.delay, oracle) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactnessWithMux,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class ExactnessOnNorMapped : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactnessOnNorMapped, MappingPreservesVerifiability) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 14;
+  cfg.outputs = 2;
+  cfg.seed = GetParam() * 131 + 3;
+  Circuit mapped = map_to_nor(gen::random_circuit(cfg));
+  mapped.set_uniform_delay(DelaySpec::fixed(10));
+  const Time oracle = exhaustive_floating_delay(mapped);
+  Verifier v(mapped);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_EQ(res.delay, oracle) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactnessOnNorMapped,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// Narrowing alone (stages 1-3, no case analysis) must never claim N below
+/// the oracle delay: pure soundness sweep with everything enabled.
+class StagesSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StagesSoundness, NoFalseNegativeProofs) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 20;
+  cfg.outputs = 3;
+  cfg.seed = GetParam() * 523 + 11;
+  const Circuit c = gen::random_circuit(cfg);
+  const Time oracle = exhaustive_floating_delay(c);
+
+  VerifyOptions opt;
+  opt.use_case_analysis = false;
+  Verifier v(c, opt);
+  for (std::int64_t delta = 0; delta <= oracle.value(); ++delta) {
+    const auto rep = v.check_circuit(Time(delta));
+    // A violation exists at this delta; narrowing may say Possible but
+    // must never say NoViolation.
+    EXPECT_NE(rep.conclusion, CheckConclusion::kNoViolation)
+        << "seed " << cfg.seed << " delta " << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StagesSoundness,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace waveck

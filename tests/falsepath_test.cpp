@@ -1,0 +1,154 @@
+// The appendable false-path blocks must exhibit exactly their advertised
+// stage profile (which machinery proves the proof row), raw and NOR-mapped.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+Circuit host() {
+  return gen::alu({.width = 4, .with_subtract = true, .with_flags = true,
+                   .with_parity = false});
+}
+
+struct Profile {
+  Time top;
+  Time exact;
+  bool narrowing_closes;  // at delta = exact + 1, case analysis off
+  bool gitd_closes;
+  bool stems_close;
+};
+
+Profile profile_of(Circuit c, bool mapped) {
+  if (mapped) {
+    c = gen::prepare_for_experiment(c);
+  } else {
+    c.set_uniform_delay(DelaySpec::fixed(10));
+  }
+  Profile p{};
+  p.top = topological_delay(c);
+  Verifier full(c);
+  const auto ex = full.exact_floating_delay();
+  EXPECT_TRUE(ex.exact);
+  p.exact = ex.delay;
+  const Time delta = ex.delay + 1;
+  auto closes = [&](bool gitd, bool stems) {
+    VerifyOptions opt;
+    opt.use_dominators = gitd;
+    opt.use_stem_correlation = stems;
+    opt.use_case_analysis = false;
+    Verifier v(c, opt);
+    return v.check_circuit(delta).conclusion == CheckConclusion::kNoViolation;
+  };
+  p.narrowing_closes = closes(false, false);
+  p.gitd_closes = closes(true, false);
+  p.stems_close = closes(true, true);
+  return p;
+}
+
+class FalsePathProfiles : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FalsePathProfiles, LocalChainClosedByNarrowing) {
+  Circuit c = host();
+  gen::append_false_path_block(c, gen::FalsePathKind::kLocalChain, 16);
+  const Profile p = profile_of(std::move(c), GetParam());
+  EXPECT_LT(p.exact, p.top);  // genuinely a false path
+  EXPECT_TRUE(p.narrowing_closes);
+}
+
+TEST_P(FalsePathProfiles, DominatorDiamondNeedsGitd) {
+  Circuit c = host();
+  gen::append_false_path_block(c, gen::FalsePathKind::kDominatorDiamond, 16);
+  const Profile p = profile_of(std::move(c), GetParam());
+  EXPECT_LT(p.exact, p.top);
+  EXPECT_FALSE(p.narrowing_closes);
+  EXPECT_TRUE(p.gitd_closes);
+}
+
+TEST_P(FalsePathProfiles, StemContradictionNeedsStems) {
+  Circuit c = host();
+  gen::append_false_path_block(c, gen::FalsePathKind::kStemContradiction, 24);
+  const Profile p = profile_of(std::move(c), GetParam());
+  EXPECT_LT(p.exact, p.top);
+  EXPECT_FALSE(p.narrowing_closes);
+  EXPECT_FALSE(p.gitd_closes);
+  EXPECT_TRUE(p.stems_close);
+}
+
+INSTANTIATE_TEST_SUITE_P(RawAndNorMapped, FalsePathProfiles,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "nor" : "raw";
+                         });
+
+TEST(FalsePath, ExactDelayStillMatchesOracle) {
+  // End-to-end exactness on a block small enough for the oracle.
+  Circuit c = gen::alu({.width = 2, .with_subtract = false,
+                        .with_flags = false, .with_parity = false});
+  gen::append_false_path_block(c, gen::FalsePathKind::kDominatorDiamond, 8);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_EQ(res.delay, exhaustive_floating_delay(c));
+}
+
+TEST(FalsePath, StemBlockExactMatchesOracle) {
+  Circuit c = gen::alu({.width = 2, .with_subtract = false,
+                        .with_flags = false, .with_parity = false});
+  gen::append_false_path_block(c, gen::FalsePathKind::kStemContradiction, 8);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_EQ(res.delay, exhaustive_floating_delay(c));
+}
+
+TEST(FalsePath, BlockOutputIsCriticalWithSuiteSizing) {
+  // The suite sizes the chain so the block's output is the topologically
+  // deepest one after NOR mapping.
+  for (const char* name : {"c1908", "c2670", "c5315"}) {
+    const Circuit c = gen::prepare_for_experiment(gen::build_raw(name));
+    const auto top = topo_arrival(c);
+    const NetId fp = *c.find_net("fp_out");
+    for (NetId o : c.outputs()) {
+      EXPECT_LE(top[o.index()], top[fp.index()]) << name;
+    }
+  }
+}
+
+TEST(FalsePath, SkipMultiplierHasFalsePaths) {
+  Circuit plain = gen::array_multiplier(6);
+  Circuit skip = gen::array_multiplier(6, true);
+  plain.set_uniform_delay(DelaySpec::fixed(10));
+  skip.set_uniform_delay(DelaySpec::fixed(10));
+  EXPECT_EQ(exhaustive_floating_delay(plain), topological_delay(plain));
+  EXPECT_LT(exhaustive_floating_delay(skip), topological_delay(skip));
+}
+
+TEST(FalsePath, SkipMultiplierArithmeticCorrect) {
+  const Circuit c = gen::array_multiplier(5, true);
+  for (unsigned a = 0; a < 32; a += 3) {
+    for (unsigned b = 0; b < 32; b += 5) {
+      std::vector<bool> v;
+      for (int i = 0; i < 5; ++i) v.push_back((a >> i) & 1);
+      for (int i = 0; i < 5; ++i) v.push_back((b >> i) & 1);
+      const auto r = simulate_floating(c, v);
+      unsigned p = 0;
+      for (int i = 0; i < 10; ++i) {
+        p |= unsigned{
+                 r.value[c.find_net("p" + std::to_string(i))->index()]}
+             << i;
+      }
+      EXPECT_EQ(p, a * b) << a << "*" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,154 @@
+#include "sim/floating_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(FloatingSim, AndControllingShortCircuits) {
+  Circuit c("and");
+  const NetId a = c.add_net("a"), b = c.add_net("b"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kAnd, x, {a, b}, DelaySpec::fixed(5));
+  c.declare_output(x);
+  c.finalize();
+
+  // a=0 controls: settle = 5 + settle(a) = 5 even though b also settles at 0.
+  auto r = simulate_floating(c, {false, true});
+  EXPECT_FALSE(r.value[x.index()]);
+  EXPECT_EQ(r.settle[x.index()], Time(5));
+
+  // all non-controlling: settle = 5 + max = 5.
+  r = simulate_floating(c, {true, true});
+  EXPECT_TRUE(r.value[x.index()]);
+  EXPECT_EQ(r.settle[x.index()], Time(5));
+}
+
+TEST(FloatingSim, ControllingPicksEarliestController) {
+  // Chain delays make inputs settle at different times.
+  Circuit c("chain");
+  const NetId a = c.add_net("a"), b = c.add_net("b");
+  const NetId bd = c.add_net("bd"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kDelay, bd, {b}, DelaySpec::fixed(7));
+  c.add_gate(GateType::kOr, x, {a, bd}, DelaySpec::fixed(1));
+  c.declare_output(x);
+  c.finalize();
+
+  // Both 1 (controlling for OR): earliest controller is a (settles at 0).
+  auto r = simulate_floating(c, {true, true});
+  EXPECT_EQ(r.settle[x.index()], Time(1));
+  // Only delayed input controlling: must wait for it.
+  r = simulate_floating(c, {false, true});
+  EXPECT_EQ(r.settle[x.index()], Time(8));
+  // No controller: wait for all.
+  r = simulate_floating(c, {false, false});
+  EXPECT_EQ(r.settle[x.index()], Time(8));
+}
+
+TEST(FloatingSim, XorWaitsForAllInputs) {
+  Circuit c("x");
+  const NetId a = c.add_net("a"), b = c.add_net("b");
+  const NetId ad = c.add_net("ad"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kDelay, ad, {a}, DelaySpec::fixed(9));
+  c.add_gate(GateType::kXor, x, {ad, b}, DelaySpec::fixed(1));
+  c.declare_output(x);
+  c.finalize();
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      const auto r = simulate_floating(c, {va, vb});
+      EXPECT_EQ(r.settle[x.index()], Time(10));
+      EXPECT_EQ(r.value[x.index()], va != vb);
+    }
+  }
+}
+
+TEST(FloatingSim, MuxAgreeingDataIgnoresSelect) {
+  Circuit c("m");
+  const NetId s = c.add_net("s"), a = c.add_net("a"), b = c.add_net("b");
+  const NetId sd = c.add_net("sd"), x = c.add_net("x");
+  c.declare_input(s);
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kDelay, sd, {s}, DelaySpec::fixed(20));
+  c.add_gate(GateType::kMux, x, {sd, a, b}, DelaySpec::fixed(1));
+  c.declare_output(x);
+  c.finalize();
+  // Data agree: select (settling at 20) does not matter.
+  auto r = simulate_floating(c, {true, true, true});
+  EXPECT_EQ(r.settle[x.index()], Time(1));
+  // Data disagree: output follows the late select.
+  r = simulate_floating(c, {true, false, true});
+  EXPECT_EQ(r.settle[x.index()], Time(21));
+}
+
+TEST(FloatingSim, HrapcenkoFloatingDelayIs60) {
+  const Circuit c = gen::hrapcenko(10);
+  EXPECT_EQ(topological_delay(c), Time(70));
+  EXPECT_EQ(exhaustive_floating_delay(c), Time(60));
+}
+
+TEST(FloatingSim, HrapcenkoPerOutputMatchesCircuit) {
+  const Circuit c = gen::hrapcenko(10);
+  EXPECT_EQ(exhaustive_floating_delay(c, *c.find_net("s")), Time(60));
+}
+
+TEST(FloatingSim, FindViolatingVector) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const auto v60 = find_violating_vector(c, s, Time(60));
+  ASSERT_TRUE(v60.has_value());
+  EXPECT_GE(simulate_floating(c, *v60).settle[s.index()], Time(60));
+  EXPECT_FALSE(find_violating_vector(c, s, Time(61)).has_value());
+}
+
+TEST(FloatingSim, C17FloatingEqualsTopological) {
+  // c17 has no false paths at uniform delay.
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  EXPECT_EQ(exhaustive_floating_delay(c), topological_delay(c));
+}
+
+TEST(FloatingSim, CarrySkipFloatingWellBelowTopological) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const Time top = topological_delay(c);
+  const Time fl = exhaustive_floating_delay(c, 17);
+  EXPECT_LT(fl, top);  // the block-to-block ripple is false
+}
+
+TEST(FloatingSim, RippleAdderSumsCorrectly) {
+  const Circuit c = gen::ripple_carry_adder(4);
+  // inputs: a0..a3, b0..b3, cin
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<bool> v;
+      for (int i = 0; i < 4; ++i) v.push_back((a >> i) & 1);
+      for (int i = 0; i < 4; ++i) v.push_back((b >> i) & 1);
+      v.push_back(false);
+      const auto r = simulate_floating(c, v);
+      unsigned sum = 0;
+      for (int i = 0; i < 4; ++i) {
+        sum |= unsigned{r.value[c.find_net("s" + std::to_string(i))->index()]}
+               << i;
+      }
+      sum |= unsigned{r.value[c.find_net("cout")->index()]} << 4;
+      EXPECT_EQ(sum, a + b);
+    }
+  }
+}
+
+TEST(FloatingSim, InputLimitGuard) {
+  const Circuit c = gen::carry_skip_adder(16, 4);  // 33 inputs
+  EXPECT_THROW(exhaustive_floating_delay(c, 20), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,274 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/iscas_suite.hpp"
+#include "netlist/topo_delay.hpp"
+#include "netlist/transforms.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+std::vector<bool> bits_of(std::uint64_t v, unsigned n) {
+  std::vector<bool> out(n);
+  for (unsigned i = 0; i < n; ++i) out[i] = (v >> i) & 1;
+  return out;
+}
+
+std::uint64_t word_out(const Circuit& c, const FloatingResult& r,
+                       const std::string& prefix, unsigned n) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const auto net = c.find_net(prefix + std::to_string(i));
+    EXPECT_TRUE(net.has_value()) << prefix << i;
+    v |= std::uint64_t{r.value[net->index()]} << i;
+  }
+  return v;
+}
+
+TEST(Generators, CarrySkipAdderAddsCorrectly) {
+  const Circuit c = gen::carry_skip_adder(8, 4);
+  // inputs: a0..a7, b0..b7, cin
+  for (std::uint64_t a = 0; a < 256; a += 13) {
+    for (std::uint64_t b = 0; b < 256; b += 17) {
+      for (bool cin : {false, true}) {
+        auto v = bits_of(a, 8);
+        const auto bv = bits_of(b, 8);
+        v.insert(v.end(), bv.begin(), bv.end());
+        v.push_back(cin);
+        const auto r = simulate_floating(c, v);
+        const std::uint64_t sum = word_out(c, r, "s", 8) |
+                                  (std::uint64_t{r.value[c.find_net("cout")
+                                                              ->index()]}
+                                   << 8);
+        EXPECT_EQ(sum, a + b + cin);
+      }
+    }
+  }
+}
+
+TEST(Generators, ArrayMultiplierMultipliesCorrectly) {
+  const Circuit c = gen::array_multiplier(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      auto v = bits_of(a, 4);
+      const auto bv = bits_of(b, 4);
+      v.insert(v.end(), bv.begin(), bv.end());
+      const auto r = simulate_floating(c, v);
+      EXPECT_EQ(word_out(c, r, "p", 8), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Generators, ArrayMultiplier6x6Spot) {
+  const Circuit c = gen::array_multiplier(6);
+  for (std::uint64_t a : {0ull, 1ull, 17ull, 42ull, 63ull}) {
+    for (std::uint64_t b : {0ull, 1ull, 29ull, 63ull}) {
+      auto v = bits_of(a, 6);
+      const auto bv = bits_of(b, 6);
+      v.insert(v.end(), bv.begin(), bv.end());
+      const auto r = simulate_floating(c, v);
+      EXPECT_EQ(word_out(c, r, "p", 12), a * b);
+    }
+  }
+}
+
+TEST(Generators, EccCorrectsSingleBitErrors) {
+  const unsigned kData = 8;
+  const Circuit c = gen::ecc_corrector(kData, false);
+  unsigned r = 1;
+  while ((1u << r) < kData + r + 1) ++r;
+
+  // Hamming positions of the data bits (non powers of two).
+  std::vector<unsigned> pos;
+  for (unsigned p = 1; pos.size() < kData; ++p) {
+    if ((p & (p - 1)) != 0) pos.push_back(p);
+  }
+  auto checks_for = [&](std::uint64_t data) {
+    std::vector<bool> chk(r, false);
+    for (unsigned k = 0; k < r; ++k) {
+      bool par = false;
+      for (unsigned i = 0; i < kData; ++i) {
+        if ((pos[i] & (1u << k)) && ((data >> i) & 1)) par = !par;
+      }
+      chk[k] = par;
+    }
+    return chk;
+  };
+
+  for (std::uint64_t data : {0x00ull, 0xffull, 0x5aull, 0x13ull, 0xc7ull}) {
+    const auto chk = checks_for(data);
+    // No error: data passes through.
+    {
+      auto v = bits_of(data, kData);
+      v.insert(v.end(), chk.begin(), chk.end());
+      const auto res = simulate_floating(c, v);
+      EXPECT_EQ(word_out(c, res, "o", kData), data);
+    }
+    // Each single data-bit error is corrected.
+    for (unsigned e = 0; e < kData; ++e) {
+      auto v = bits_of(data ^ (1ull << e), kData);
+      v.insert(v.end(), chk.begin(), chk.end());
+      const auto res = simulate_floating(c, v);
+      EXPECT_EQ(word_out(c, res, "o", kData), data) << "err bit " << e;
+    }
+  }
+}
+
+TEST(Generators, SecDedFlagsDoubleErrors) {
+  const unsigned kData = 8;
+  const Circuit c = gen::ecc_corrector(kData, true);
+  // Inputs: d0..d7, c0..c{r-1}, cp (overall parity).
+  unsigned r = 1;
+  while ((1u << r) < kData + r + 1) ++r;
+  std::vector<unsigned> pos;
+  for (unsigned p = 1; pos.size() < kData; ++p) {
+    if ((p & (p - 1)) != 0) pos.push_back(p);
+  }
+  const std::uint64_t data = 0x5a;
+  std::vector<bool> chk(r, false);
+  for (unsigned k = 0; k < r; ++k) {
+    bool par = false;
+    for (unsigned i = 0; i < kData; ++i) {
+      if ((pos[i] & (1u << k)) && ((data >> i) & 1)) par = !par;
+    }
+    chk[k] = par;
+  }
+  bool overall = false;
+  for (unsigned i = 0; i < kData; ++i) overall ^= (data >> i) & 1;
+  for (bool b : chk) overall ^= b;
+
+  auto run = [&](std::uint64_t received) {
+    auto v = bits_of(received, kData);
+    v.insert(v.end(), chk.begin(), chk.end());
+    v.push_back(overall);
+    return simulate_floating(c, v);
+  };
+  // Clean word: no DED flag.
+  EXPECT_FALSE(run(data).value[c.find_net("ded")->index()]);
+  // Two flipped data bits: DED flag raised.
+  EXPECT_TRUE(run(data ^ 0b101).value[c.find_net("ded")->index()]);
+}
+
+TEST(Generators, AluOpcodesWork) {
+  const gen::AluConfig cfg{.width = 4, .with_subtract = true,
+                           .with_flags = true, .with_parity = false};
+  const Circuit c = gen::alu(cfg);
+  // inputs: a0..3, b0..3, op0, op1, sub
+  auto run = [&](unsigned a, unsigned b, bool op0, bool op1, bool sub) {
+    auto v = bits_of(a, 4);
+    const auto bv = bits_of(b, 4);
+    v.insert(v.end(), bv.begin(), bv.end());
+    v.push_back(op0);
+    v.push_back(op1);
+    v.push_back(sub);
+    const auto r = simulate_floating(c, v);
+    return word_out(c, r, "r", 4);
+  };
+  EXPECT_EQ(run(5, 6, false, false, false), (5u + 6u) & 0xf);  // ADD
+  EXPECT_EQ(run(5, 6, false, false, true), (5u - 6u) & 0xf);   // SUB
+  EXPECT_EQ(run(0b1100, 0b1010, true, false, false), 0b1000u);  // AND
+  EXPECT_EQ(run(0b1100, 0b1010, false, true, false), 0b1110u);  // OR
+  EXPECT_EQ(run(0b1100, 0b1010, true, true, false), 0b0110u);   // XOR
+}
+
+TEST(Generators, PriorityControllerGrantsHighestBus) {
+  const Circuit c = gen::priority_controller(3);
+  // inputs: r0_0..r0_2, r1_0..r1_2, r2_0..r2_2, e0..e2
+  auto run = [&](unsigned r0, unsigned r1, unsigned r2, unsigned en) {
+    std::vector<bool> v;
+    for (unsigned i = 0; i < 3; ++i) v.push_back((r0 >> i) & 1);
+    for (unsigned i = 0; i < 3; ++i) v.push_back((r1 >> i) & 1);
+    for (unsigned i = 0; i < 3; ++i) v.push_back((r2 >> i) & 1);
+    for (unsigned i = 0; i < 3; ++i) v.push_back((en >> i) & 1);
+    return simulate_floating(c, v);
+  };
+  // Bus 1 line 2 requests alone: granted.
+  auto r = run(0, 0b100, 0, 0b111);
+  EXPECT_TRUE(r.value[c.find_net("g1_2")->index()]);
+  // Enabled bus-0 request pre-empts bus 1.
+  r = run(0b001, 0b100, 0, 0b111);
+  EXPECT_TRUE(r.value[c.find_net("g0_0")->index()]);
+  EXPECT_FALSE(r.value[c.find_net("g1_2")->index()]);
+  // Daisy chain: lowest-numbered line of the winning bus wins.
+  r = run(0b110, 0, 0, 0b111);
+  EXPECT_TRUE(r.value[c.find_net("g0_1")->index()]);
+  EXPECT_FALSE(r.value[c.find_net("g0_2")->index()]);
+}
+
+TEST(Generators, AdderComparatorCompares) {
+  const Circuit c = gen::adder_comparator(4);
+  auto run = [&](unsigned a, unsigned b) {
+    auto v = bits_of(a, 4);
+    const auto bv = bits_of(b, 4);
+    v.insert(v.end(), bv.begin(), bv.end());
+    v.push_back(false);  // cin
+    return simulate_floating(c, v);
+  };
+  auto gt = [&](unsigned a, unsigned b) -> bool {
+    const auto r = run(a, b);
+    return r.value[c.find_net("a_gt_b")->index()];
+  };
+  auto eq = [&](unsigned a, unsigned b) -> bool {
+    const auto r = run(a, b);
+    return r.value[c.find_net("a_eq_b")->index()];
+  };
+  EXPECT_TRUE(gt(9, 4));
+  EXPECT_FALSE(gt(4, 9));
+  EXPECT_FALSE(gt(7, 7));
+  EXPECT_TRUE(eq(7, 7));
+  EXPECT_FALSE(eq(7, 8));
+}
+
+TEST(Generators, RandomCircuitIsDeterministic) {
+  const gen::RandomCircuitConfig cfg{.inputs = 6, .gates = 20, .outputs = 3,
+                                     .seed = 77};
+  const Circuit a = gen::random_circuit(cfg);
+  const Circuit b = gen::random_circuit(cfg);
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g : a.all_gates()) {
+    EXPECT_EQ(a.gate(g).type, b.gate(g).type);
+    EXPECT_EQ(a.gate(g).ins, b.gate(g).ins);
+  }
+}
+
+TEST(Generators, RandomCircuitDifferentSeedsDiffer) {
+  gen::RandomCircuitConfig cfg{.inputs = 6, .gates = 20, .outputs = 3};
+  cfg.seed = 1;
+  const Circuit a = gen::random_circuit(cfg);
+  cfg.seed = 2;
+  const Circuit b = gen::random_circuit(cfg);
+  bool differ = a.num_nets() != b.num_nets();
+  for (GateId g : a.all_gates()) {
+    if (differ) break;
+    differ = a.gate(g).type != b.gate(g).type || a.gate(g).ins != b.gate(g).ins;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generators, SuiteBuildsAllCircuits) {
+  for (const char* name : {"c17", "c432", "c499", "c880", "c1355", "c1908",
+                           "c2670", "c3540", "c5315", "c7552"}) {
+    const Circuit raw = gen::build_raw(name);
+    EXPECT_GT(raw.num_gates(), 0u) << name;
+    const Circuit mapped = gen::prepare_for_experiment(raw);
+    EXPECT_GE(mapped.num_gates(), raw.num_gates()) << name;
+    for (GateId g : mapped.all_gates()) {
+      ASSERT_EQ(mapped.gate(g).type, GateType::kNor);
+      ASSERT_EQ(mapped.gate(g).delay, DelaySpec::fixed(10));
+    }
+  }
+  EXPECT_THROW(gen::build_raw("c9999"), std::invalid_argument);
+}
+
+TEST(Generators, SuiteSmallSubset) {
+  const auto suite = gen::table1_suite(/*small_only=*/true);
+  EXPECT_GE(suite.size(), 3u);
+  for (const auto& entry : suite) {
+    EXPECT_TRUE(entry.circuit.finalized());
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,91 @@
+#include "analysis/head_lines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(HeadLines, FanoutFreeChainHeadIsTheFrontier) {
+  // a -> x -> y feeds a gate that also sees stem s: y is the head line.
+  Circuit c("h");
+  const NetId a = c.add_net("a"), s = c.add_net("s");
+  c.declare_input(a);
+  c.declare_input(s);
+  const NetId x = c.add_net("x"), y = c.add_net("y");
+  const NetId u = c.add_net("u"), w = c.add_net("w"), z = c.add_net("z");
+  c.add_gate(GateType::kNot, x, {a});
+  c.add_gate(GateType::kBuf, y, {x});
+  c.add_gate(GateType::kAnd, u, {y, s});
+  c.add_gate(GateType::kOr, w, {s, a});  // wait: a reused -> a is a stem!
+  c.add_gate(GateType::kAnd, z, {u, w});
+  c.declare_output(z);
+  c.finalize();
+  const HeadLines hl = compute_head_lines(c);
+  // `a` and `s` fan out twice: both bound stems; x, y bound too (fed by a).
+  EXPECT_TRUE(hl.is_bound(a));
+  EXPECT_TRUE(hl.is_bound(s));
+  EXPECT_TRUE(hl.is_bound(x));
+  EXPECT_FALSE(hl.is_head(y));
+}
+
+TEST(HeadLines, PureFreeRegion) {
+  // b's cone is fanout-free up to gate u whose output becomes bound via s.
+  Circuit c("h2");
+  const NetId b = c.add_net("b"), s = c.add_net("s");
+  c.declare_input(b);
+  c.declare_input(s);
+  const NetId nb = c.add_net("nb");
+  const NetId u = c.add_net("u"), v = c.add_net("v"), z = c.add_net("z");
+  c.add_gate(GateType::kNot, nb, {b});
+  c.add_gate(GateType::kAnd, u, {nb, s});
+  c.add_gate(GateType::kNot, v, {s});
+  c.add_gate(GateType::kOr, z, {u, v});
+  c.declare_output(z);
+  c.finalize();
+  const HeadLines hl = compute_head_lines(c);
+  EXPECT_FALSE(hl.is_bound(b));
+  EXPECT_FALSE(hl.is_bound(nb));
+  EXPECT_TRUE(hl.is_bound(u));   // fed by stem s
+  EXPECT_TRUE(hl.is_head(nb));   // frontier of the free region
+  EXPECT_FALSE(hl.is_head(b));   // interior free line
+}
+
+TEST(HeadLines, FanoutFreeCircuitHeadsAreOutputs) {
+  // A pure chain: no stems anywhere; the primary output is the head.
+  Circuit c("chain");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const NetId x = c.add_net("x"), y = c.add_net("y");
+  c.add_gate(GateType::kNot, x, {a});
+  c.add_gate(GateType::kNot, y, {x});
+  c.declare_output(y);
+  c.finalize();
+  const HeadLines hl = compute_head_lines(c);
+  for (NetId n : c.all_nets()) EXPECT_FALSE(hl.is_bound(n));
+  EXPECT_TRUE(hl.is_head(y));
+  EXPECT_FALSE(hl.is_head(x));
+}
+
+TEST(HeadLines, SuiteCircuitsPartitionConsistently) {
+  for (const char* name : {"c432", "c1908"}) {
+    const Circuit c = gen::build_raw(name);
+    const HeadLines hl = compute_head_lines(c);
+    for (NetId n : c.all_nets()) {
+      // head => free.
+      if (hl.is_head(n)) EXPECT_FALSE(hl.is_bound(n)) << c.net(n).name;
+      // free non-head, non-PO lines feed only free gates.
+      if (!hl.is_bound(n) && !hl.is_head(n)) {
+        for (GateId g : c.net(n).fanouts) {
+          EXPECT_FALSE(hl.is_bound(c.gate(g).out))
+              << name << " " << c.net(n).name;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,130 @@
+// Lattice/algebra laws of the last-transition-interval domain, swept over
+// a dense grid of interval pairs (the foundation the whole narrowing
+// engine's monotonicity argument rests on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "waveform/lt_interval.hpp"
+
+namespace waveck {
+namespace {
+
+std::vector<LtInterval> grid() {
+  const std::vector<Time> pts{Time::neg_inf(), Time(-2), Time(0), Time(1),
+                              Time(3), Time::pos_inf()};
+  std::vector<LtInterval> out;
+  for (Time lo : pts) {
+    for (Time hi : pts) out.push_back({lo, hi});
+  }
+  return out;
+}
+
+TEST(IntervalLaws, IntersectIsMeet) {
+  const auto g = grid();
+  for (const auto& a : g) {
+    for (const auto& b : g) {
+      const LtInterval m = a.intersect(b);
+      // Commutative, idempotent, lower bound of both.
+      EXPECT_EQ(m, b.intersect(a));
+      EXPECT_EQ(a.intersect(a), a.normalized());
+      EXPECT_TRUE(a.contains(m));
+      EXPECT_TRUE(b.contains(m));
+      // Greatest lower bound: anything inside both is inside the meet.
+      for (const auto& c : g) {
+        if (a.contains(c) && b.contains(c)) {
+          EXPECT_TRUE(m.contains(c))
+              << a.str() << " ^ " << b.str() << " vs " << c.str();
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalLaws, HullIsJoin) {
+  const auto g = grid();
+  for (const auto& a : g) {
+    for (const auto& b : g) {
+      const LtInterval j = a.hull(b);
+      EXPECT_EQ(j, b.hull(a));
+      EXPECT_TRUE(j.contains(a));
+      EXPECT_TRUE(j.contains(b));
+      // Least upper bound within the interval lattice.
+      for (const auto& c : g) {
+        if (c.contains(a) && c.contains(b)) {
+          EXPECT_TRUE(c.contains(j));
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalLaws, AbsorptionAndAssociativity) {
+  const auto g = grid();
+  for (const auto& a : g) {
+    for (const auto& b : g) {
+      EXPECT_EQ(a.hull(a.intersect(b)), a.normalized());
+      EXPECT_EQ(a.intersect(a.hull(b)), a.normalized());
+      for (const auto& c : g) {
+        EXPECT_EQ(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+        EXPECT_EQ(a.hull(b).hull(c), a.hull(b.hull(c)));
+      }
+    }
+  }
+}
+
+TEST(IntervalLaws, NarrownessIsStrictPartialOrder) {
+  const auto g = grid();
+  for (const auto& a : g) {
+    EXPECT_FALSE(a.narrower_than(a));  // irreflexive
+    for (const auto& b : g) {
+      if (a.narrower_than(b)) {
+        EXPECT_FALSE(b.narrower_than(a));  // asymmetric
+        EXPECT_TRUE(b.contains(a));        // consistent with inclusion
+        for (const auto& c : g) {
+          if (b.narrower_than(c)) {
+            EXPECT_TRUE(a.narrower_than(c));  // transitive
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalLaws, ShiftDistributesOverMeetAndJoin) {
+  const auto g = grid();
+  for (const auto& a : g) {
+    for (const auto& b : g) {
+      // Fixed shifts are lattice isomorphisms.
+      EXPECT_EQ(a.intersect(b).shift_forward(3, 3),
+                a.shift_forward(3, 3).intersect(b.shift_forward(3, 3)));
+      EXPECT_EQ(a.hull(b).shift_forward(3, 3),
+                a.shift_forward(3, 3).hull(b.shift_forward(3, 3)));
+    }
+  }
+}
+
+TEST(IntervalLaws, Lemma1AgreesWithMembership) {
+  // union_is_exact iff no integer sits strictly between the operands.
+  const auto g = grid();
+  for (const auto& a : g) {
+    for (const auto& b : g) {
+      if (a.is_empty() || b.is_empty()) {
+        EXPECT_TRUE(a.union_is_exact(b));
+        continue;
+      }
+      const LtInterval j = a.hull(b);
+      bool gap = false;
+      // Scan a window of candidate integer points for hull members outside
+      // both operands.
+      for (std::int64_t t = -4; t <= 5 && !gap; ++t) {
+        const Time tt(t);
+        gap = j.contains(tt) && !a.contains(tt) && !b.contains(tt);
+      }
+      EXPECT_EQ(a.union_is_exact(b), !gap) << a.str() << " u " << b.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waveck

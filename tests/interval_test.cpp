@@ -1,0 +1,123 @@
+#include "waveform/lt_interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace waveck {
+namespace {
+
+constexpr Time kNI = Time::neg_inf();
+constexpr Time kPI = Time::pos_inf();
+
+TEST(LtInterval, TopContainsEverything) {
+  const LtInterval top = LtInterval::top();
+  EXPECT_TRUE(top.is_top());
+  EXPECT_FALSE(top.is_empty());
+  EXPECT_TRUE(top.contains(Time(0)));
+  EXPECT_TRUE(top.contains(kNI));
+  EXPECT_TRUE(top.contains(kPI));
+}
+
+TEST(LtInterval, EmptyWhenBoundsCross) {
+  const LtInterval e{Time(5), Time(4)};
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e, LtInterval::empty());
+  EXPECT_FALSE(LtInterval(Time(5), Time(5)).is_empty());
+}
+
+TEST(LtInterval, AllEmptiesEqual) {
+  EXPECT_EQ(LtInterval(Time(10), Time(0)), LtInterval(Time(99), Time(-99)));
+  EXPECT_EQ(LtInterval::empty(), LtInterval(Time(1), Time(0)));
+}
+
+TEST(LtInterval, IntersectBasic) {
+  const LtInterval a{Time(0), Time(10)};
+  const LtInterval b{Time(5), Time(20)};
+  EXPECT_EQ(a.intersect(b), LtInterval(Time(5), Time(10)));
+  EXPECT_EQ(b.intersect(a), LtInterval(Time(5), Time(10)));
+}
+
+TEST(LtInterval, IntersectDisjointIsEmpty) {
+  const LtInterval a{Time(0), Time(3)};
+  const LtInterval b{Time(4), Time(9)};
+  EXPECT_TRUE(a.intersect(b).is_empty());
+}
+
+TEST(LtInterval, IntersectWithEmpty) {
+  const LtInterval a{Time(0), Time(3)};
+  EXPECT_TRUE(a.intersect(LtInterval::empty()).is_empty());
+  EXPECT_TRUE(LtInterval::empty().intersect(a).is_empty());
+}
+
+TEST(LtInterval, HullIsNarrowestCover) {
+  const LtInterval a{Time(0), Time(3)};
+  const LtInterval b{Time(10), Time(12)};
+  EXPECT_EQ(a.hull(b), LtInterval(Time(0), Time(12)));
+  EXPECT_EQ(a.hull(LtInterval::empty()), a);
+  EXPECT_EQ(LtInterval::empty().hull(b), b);
+}
+
+TEST(LtInterval, Lemma1UnionExactness) {
+  // Adjacent or overlapping intervals: hull == true union.
+  EXPECT_TRUE(LtInterval(Time(0), Time(3))
+                  .union_is_exact(LtInterval(Time(4), Time(9))));
+  EXPECT_TRUE(LtInterval(Time(0), Time(5))
+                  .union_is_exact(LtInterval(Time(2), Time(9))));
+  // A gap of one integer breaks exactness.
+  EXPECT_FALSE(LtInterval(Time(0), Time(3))
+                   .union_is_exact(LtInterval(Time(5), Time(9))));
+  // Empty operands are always exact.
+  EXPECT_TRUE(LtInterval::empty().union_is_exact(LtInterval(Time(5), Time(9))));
+}
+
+TEST(LtInterval, ContainsInterval) {
+  const LtInterval a{Time(0), Time(10)};
+  EXPECT_TRUE(a.contains(LtInterval(Time(2), Time(8))));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.contains(LtInterval::empty()));
+  EXPECT_FALSE(a.contains(LtInterval(Time(-1), Time(5))));
+  EXPECT_FALSE(LtInterval::empty().contains(a));
+}
+
+TEST(LtInterval, NarrownessPaperDefinition) {
+  const LtInterval w2{Time(0), Time(10)};
+  // Strictly tighter on one side, no wider on the other.
+  EXPECT_TRUE(LtInterval(Time(1), Time(10)).narrower_than(w2));
+  EXPECT_TRUE(LtInterval(Time(0), Time(9)).narrower_than(w2));
+  EXPECT_TRUE(LtInterval(Time(1), Time(9)).narrower_than(w2));
+  EXPECT_FALSE(w2.narrower_than(w2));
+  EXPECT_FALSE(LtInterval(Time(-1), Time(9)).narrower_than(w2));
+  EXPECT_TRUE(LtInterval::empty().narrower_than(w2));
+  EXPECT_FALSE(w2.narrower_than(LtInterval::empty()));
+}
+
+TEST(LtInterval, ShiftForwardBackwardRoundTrip) {
+  const LtInterval a{Time(5), Time(9)};
+  const LtInterval fwd = a.shift_forward(2, 4);
+  EXPECT_EQ(fwd, LtInterval(Time(7), Time(13)));
+  // Backward through the same delay window over-covers the original.
+  EXPECT_TRUE(fwd.shift_backward(2, 4).contains(a));
+  // Fixed delay: exact round trip.
+  EXPECT_EQ(a.shift_forward(3, 3).shift_backward(3, 3), a);
+}
+
+TEST(LtInterval, ShiftPreservesInfinities) {
+  const LtInterval a{kNI, Time(0)};
+  EXPECT_EQ(a.shift_forward(10, 10), LtInterval(kNI, Time(10)));
+  const LtInterval b{Time(0), kPI};
+  EXPECT_EQ(b.shift_backward(10, 10), LtInterval(Time(-10), kPI));
+  EXPECT_TRUE(LtInterval::empty().shift_forward(1, 2).is_empty());
+}
+
+TEST(LtInterval, FactoryHelpers) {
+  EXPECT_EQ(LtInterval::at_or_after(Time(7)), LtInterval(Time(7), kPI));
+  EXPECT_EQ(LtInterval::stable_after(Time(0)), LtInterval(kNI, Time(0)));
+}
+
+TEST(LtInterval, Printing) {
+  EXPECT_EQ(LtInterval(Time(1), Time(2)).str(), "[1,2]");
+  EXPECT_EQ(LtInterval::empty().str(), "phi");
+  EXPECT_EQ(LtInterval::top().str(), "[-inf,+inf]");
+}
+
+}  // namespace
+}  // namespace waveck

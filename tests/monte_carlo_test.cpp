@@ -1,0 +1,71 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(MonteCarlo, LowerBoundsExactDelay) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const Time exact = exhaustive_floating_delay(c, 17);
+  const auto mc = sampled_floating_delay(c, 200, 42);
+  EXPECT_LE(mc.delay, exact);
+  EXPECT_GT(mc.delay, Time(0));
+  EXPECT_EQ(mc.samples, 200u);
+  // The witness reproduces its claimed settle time.
+  const auto sim = simulate_floating(c, mc.witness);
+  Time worst = Time::neg_inf();
+  for (NetId o : c.outputs()) worst = Time::max(worst, sim.settle[o.index()]);
+  EXPECT_EQ(worst, mc.delay);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const auto a = sampled_floating_delay(c, 50, 7);
+  const auto b = sampled_floating_delay(c, 50, 7);
+  EXPECT_EQ(a.delay, b.delay);
+  EXPECT_EQ(a.witness, b.witness);
+  const auto d = sampled_floating_delay(c, 50, 8);
+  (void)d;  // different seed may or may not differ; just must not crash
+}
+
+TEST(MonteCarlo, RefinementNeverWorsens) {
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const auto base = sampled_floating_delay(c, 100, 3);
+  const auto ref = refined_floating_delay(c, 100, 3);
+  EXPECT_GE(ref.delay, base.delay);
+  EXPECT_LE(ref.delay, topological_delay(c));
+}
+
+TEST(MonteCarlo, RefinementReachesExactOnSmallAdder) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const Time exact = exhaustive_floating_delay(c, 17);
+  const auto ref = refined_floating_delay(c, 400, 11);
+  // Greedy bit-flip hill climbing is a heuristic (it may park in a local
+  // optimum), but it must stay sound and land near the exact value here.
+  EXPECT_LE(ref.delay, exact);
+  EXPECT_GE(ref.delay + 20, exact);
+}
+
+TEST(MonteCarlo, AgreesWithVerifierBand) {
+  // sampled <= exact == verifier on a mid-size circuit.
+  Circuit c = gen::prepare_for_experiment(gen::build_raw("c499"));
+  const auto mc = refined_floating_delay(c, 300, 5);
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_LE(mc.delay, res.delay);
+}
+
+}  // namespace
+}  // namespace waveck

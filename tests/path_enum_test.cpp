@@ -1,0 +1,109 @@
+#include "sta/path_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(PathEnum, HrapcenkoLongestPathIsUnsensitizable) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  // The 70-length path requires e3 = 1 (AND side) and e3 = 0 (OR side).
+  const std::vector<NetId> long_path{
+      *c.find_net("e1"), *c.find_net("n1"), *c.find_net("n2"),
+      *c.find_net("n3"), *c.find_net("n4"), *c.find_net("n6"),
+      *c.find_net("n7"), s};
+  EXPECT_FALSE(statically_sensitizable(c, long_path));
+  // The 60-length branch through n5 is sensitizable.
+  const std::vector<NetId> short_path{
+      *c.find_net("e1"), *c.find_net("n1"), *c.find_net("n2"),
+      *c.find_net("n3"), *c.find_net("n4"), *c.find_net("n5"), s};
+  EXPECT_TRUE(statically_sensitizable(c, short_path));
+}
+
+TEST(PathEnum, HrapcenkoEstimateIs60) {
+  const Circuit c = gen::hrapcenko(10);
+  const auto r = path_enum_delay(c);
+  EXPECT_EQ(r.delay, Time(60));
+  EXPECT_GT(r.paths_enumerated, 0u);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_TRUE(c.net(r.path.front()).is_primary_input);
+}
+
+TEST(PathEnum, LongestFirstOrderStopsAtFirstHit) {
+  // On a circuit with no false paths, the very first enumerated path wins.
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const auto r = path_enum_delay(c);
+  EXPECT_EQ(r.delay, topological_delay(c));
+  EXPECT_LE(r.paths_enumerated, c.outputs().size() + 1);
+}
+
+TEST(PathEnum, CarrySkipStaticBelowTopological) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const auto r = path_enum_delay(c);
+  EXPECT_LT(r.delay, topological_delay(c));
+}
+
+TEST(PathEnum, StaticSensitizationCanUnderestimateFloating) {
+  // The classic Du-Yen lesson: static sensitization is not a sound
+  // floating-mode criterion. On the carry-skip adder the exact floating
+  // delay exceeds the longest statically sensitizable path.
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const Time exact = exhaustive_floating_delay(c, 17);
+  const auto r = path_enum_delay(c);
+  EXPECT_LE(r.delay, exact);  // here: strictly below on the skip structure
+}
+
+TEST(PathEnum, BudgetExhaustionReported) {
+  const Circuit c = gen::hrapcenko(10);
+  PathEnumOptions opt;
+  opt.max_paths = 1;  // the first (false) 70-path exhausts the budget
+  const auto r = longest_sensitizable_path(c, *c.find_net("s"), opt);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(r.delay, Time::neg_inf());
+  EXPECT_EQ(r.paths_enumerated, 1u);
+}
+
+TEST(PathEnum, MuxPathNeedsMatchingSelect) {
+  Circuit c("m");
+  const NetId sel = c.add_net("sel"), a = c.add_net("a"), b = c.add_net("b");
+  c.declare_input(sel);
+  c.declare_input(a);
+  c.declare_input(b);
+  const NetId nsel = c.add_net("nsel");
+  c.add_gate(GateType::kNot, nsel, {sel}, DelaySpec::fixed(1));
+  const NetId o = c.add_net("o");
+  c.add_gate(GateType::kMux, o, {nsel, a, b}, DelaySpec::fixed(1));
+  c.declare_output(o);
+  c.finalize();
+  // Path through d0 requires nsel = 0, i.e. sel = 1 -- consistent.
+  EXPECT_TRUE(statically_sensitizable(c, {a, o}));
+  // Path through the select is unconditioned.
+  EXPECT_TRUE(statically_sensitizable(c, {sel, nsel, o}));
+}
+
+TEST(PathEnum, ConflictingSideRequirementsDetected) {
+  // AND(x, e) -> OR(y, e): the same e must be 1 and 0.
+  Circuit c("conflict");
+  const NetId x = c.add_net("x"), e = c.add_net("e");
+  c.declare_input(x);
+  c.declare_input(e);
+  const NetId y = c.add_net("y"), z = c.add_net("z");
+  c.add_gate(GateType::kAnd, y, {x, e}, DelaySpec::fixed(1));
+  c.add_gate(GateType::kOr, z, {y, e}, DelaySpec::fixed(1));
+  c.declare_output(z);
+  c.finalize();
+  EXPECT_FALSE(statically_sensitizable(c, {x, y, z}));
+  EXPECT_TRUE(statically_sensitizable(c, {e, y, z}));
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,68 @@
+#include "verify/pessimism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(Pessimism, PerOutputExactDelayMatchesOracle) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  for (NetId o : c.outputs()) {
+    const auto od = exact_output_delay(v, o);
+    ASSERT_TRUE(od.exact) << c.net(o).name;
+    EXPECT_EQ(od.floating, exhaustive_floating_delay(c, o, 17))
+        << c.net(o).name;
+  }
+}
+
+TEST(Pessimism, ReportSortedByGapAndConsistent) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const auto rep = pessimism_report(v);
+  ASSERT_EQ(rep.outputs.size(), c.outputs().size());
+  EXPECT_EQ(rep.worst_topological, Time(70));
+  EXPECT_EQ(rep.worst_floating, Time(60));
+  for (const auto& od : rep.outputs) {
+    EXPECT_LE(od.floating, od.topological);
+  }
+  for (std::size_t i = 1; i < rep.outputs.size(); ++i) {
+    const auto gap = [](const OutputDelay& d) {
+      return d.topological.value() - d.floating.value();
+    };
+    EXPECT_GE(gap(rep.outputs[i - 1]), gap(rep.outputs[i]));
+  }
+}
+
+TEST(Pessimism, FalsePathGapVisible) {
+  Circuit c = gen::alu({.width = 4});
+  gen::append_false_path_block(c, gen::FalsePathKind::kLocalChain, 16);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto rep = pessimism_report(v);
+  // The false-path output heads the gap ranking.
+  ASSERT_FALSE(rep.outputs.empty());
+  EXPECT_EQ(c.net(rep.outputs.front().output).name, "fp_out");
+  EXPECT_LT(rep.outputs.front().floating, rep.outputs.front().topological);
+}
+
+TEST(Pessimism, OutputWithNoPathsIsDegenerate) {
+  Circuit c("deg");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const NetId x = c.add_net("x");
+  c.add_gate(GateType::kBuf, x, {a}, DelaySpec::fixed(5));
+  c.declare_output(x);
+  c.finalize();
+  Verifier v(c);
+  const auto od = exact_output_delay(v, x);
+  EXPECT_EQ(od.topological, Time(5));
+  EXPECT_EQ(od.floating, Time(5));
+}
+
+}  // namespace
+}  // namespace waveck

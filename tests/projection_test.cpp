@@ -1,0 +1,272 @@
+#include "constraints/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace waveck {
+namespace {
+
+constexpr Time kNI = Time::neg_inf();
+constexpr Time kPI = Time::pos_inf();
+
+AbstractSignal sig(LtInterval w0, LtInterval w1) { return {w0, w1}; }
+
+TEST(Projection, PaperExample1AndGate) {
+  // Example 1: 2-input AND, delay 0.
+  //   D_i = (0|-inf..33, 1|50..100), D_j = (0|25..75, phi),
+  //   D_s = (0|35..125, phi)
+  // expected:
+  //   D_i' = (phi, 1|50..100), D_j' = (0|35..75, phi), D_s' = (0|35..75, phi)
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(33)}, {Time(50), Time(100)}),
+      sig({Time(25), Time(75)}, LtInterval::empty())};
+  AbstractSignal out = sig({Time(35), Time(125)}, LtInterval::empty());
+
+  const auto delta =
+      project_gate(GateType::kAnd, DelaySpec::fixed(0), out, ins);
+  EXPECT_TRUE(delta.any());
+
+  EXPECT_TRUE(ins[0].cls(false).is_empty());
+  EXPECT_EQ(ins[0].cls(true), LtInterval(Time(50), Time(100)));
+  EXPECT_EQ(ins[1].cls(false), LtInterval(Time(35), Time(75)));
+  EXPECT_TRUE(ins[1].cls(true).is_empty());
+  EXPECT_EQ(out.cls(false), LtInterval(Time(35), Time(75)));
+  EXPECT_TRUE(out.cls(true).is_empty());
+}
+
+TEST(Projection, PaperExample2GateG8) {
+  // Example 2 at gate g8 (OR, delay 10):
+  //   n5 = (0|-inf..50, 1|-inf..50), n7 = (0|-inf..60, 1|-inf..60),
+  //   s  = (0|61..+inf, 1|61..+inf)
+  // The controlling class (1) of n5 "blocks the way": it is removed; n7 is
+  // narrowed to (0|51..60, 1|51..60); s becomes (0|61..70, 1|61..70).
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(50)}, {kNI, Time(50)}),    // n5
+      sig({kNI, Time(60)}, {kNI, Time(60)})};   // n7
+  AbstractSignal out = AbstractSignal::violating(Time(61));
+
+  // One application narrows s forward and the inputs backward; iterate to
+  // the per-gate fixpoint as the engine would.
+  for (int i = 0; i < 3; ++i) {
+    project_gate(GateType::kOr, DelaySpec::fixed(10), out, ins);
+  }
+
+  EXPECT_EQ(out.cls(false), LtInterval(Time(61), Time(70)));
+  EXPECT_EQ(out.cls(true), LtInterval(Time(61), Time(70)));
+  EXPECT_TRUE(ins[0].cls(true).is_empty());  // controlling class removed
+  EXPECT_EQ(ins[0].cls(false), LtInterval(kNI, Time(50)));
+  EXPECT_EQ(ins[1].cls(false), LtInterval(Time(51), Time(60)));
+  EXPECT_EQ(ins[1].cls(true), LtInterval(Time(51), Time(60)));
+}
+
+TEST(Projection, AndForwardAllNonControllingIsExactMax) {
+  std::array<AbstractSignal, 2> ins{
+      sig(LtInterval::empty(), {Time(3), Time(8)}),
+      sig(LtInterval::empty(), {Time(5), Time(12)})};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kAnd, DelaySpec::fixed(2), out, ins);
+  // lambda_out = 2 + max(a, b): range [2+max(3,5), 2+max(8,12)].
+  EXPECT_EQ(out.cls(true), LtInterval(Time(7), Time(14)));
+  EXPECT_TRUE(out.cls(false).is_empty());  // no controlling input possible
+}
+
+TEST(Projection, AndForwardControlledUpperFromFreeControlling) {
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(4)}, {kNI, Time(9)}),
+      sig({kNI, Time(6)}, {kNI, Time(9)})};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kAnd, DelaySpec::fixed(1), out, ins);
+  // Some controlling input settles at <= max(4, 6): out 0 stable after 7.
+  EXPECT_EQ(out.cls(false), LtInterval(kNI, Time(7)));
+  EXPECT_EQ(out.cls(true), LtInterval(kNI, Time(10)));
+}
+
+TEST(Projection, AndForwardForcedControllingTightensCap) {
+  // Input j can only be controlling (class-1 empty): the controlled output
+  // settles once j does, regardless of i's controlling class.
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(30)}, {kNI, Time(30)}),
+      sig({kNI, Time(4)}, LtInterval::empty())};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kAnd, DelaySpec::fixed(1), out, ins);
+  EXPECT_EQ(out.cls(false), LtInterval(kNI, Time(5)));
+  EXPECT_TRUE(out.cls(true).is_empty());
+}
+
+TEST(Projection, BackwardNonControllingSiblingCoverage) {
+  // Output class 1 of AND requires a transition in [20, 30] (delay 0).
+  // Sibling j's class-1 covers the window, so input i's class-1 keeps its
+  // early waveforms but is still capped above.
+  std::array<AbstractSignal, 2> ins{
+      sig(LtInterval::empty(), {kNI, Time(25)}),
+      sig(LtInterval::empty(), {Time(18), Time(40)})};
+  AbstractSignal out = sig(LtInterval::empty(), {Time(20), Time(30)});
+  project_gate(GateType::kAnd, DelaySpec::fixed(0), out, ins);
+  EXPECT_EQ(ins[0].cls(true), LtInterval(kNI, Time(25)));  // lmin relaxed
+  EXPECT_EQ(ins[1].cls(true), LtInterval(Time(18), Time(30)));
+}
+
+TEST(Projection, BackwardNonControllingNoSiblingCoverage) {
+  // Sibling j settles by 5 < 20: i must provide the late transition.
+  std::array<AbstractSignal, 2> ins{
+      sig(LtInterval::empty(), {kNI, Time(40)}),
+      sig(LtInterval::empty(), {kNI, Time(5)})};
+  AbstractSignal out = sig(LtInterval::empty(), {Time(20), Time(30)});
+  project_gate(GateType::kAnd, DelaySpec::fixed(0), out, ins);
+  EXPECT_EQ(ins[0].cls(true), LtInterval(Time(20), Time(30)));
+}
+
+TEST(Projection, BackwardControllingClassRemovedWhenBlocking) {
+  // AND with output class 0 requiring lmin 20 (delay 0): a controlling
+  // (class-0) input stable by 10 blocks the way -> class emptied.
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(10)}, {kNI, Time(40)}),
+      sig({kNI, Time(40)}, {kNI, Time(40)})};
+  AbstractSignal out = sig({Time(20), Time(30)}, LtInterval::empty());
+  project_gate(GateType::kAnd, DelaySpec::fixed(0), out, ins);
+  EXPECT_TRUE(ins[0].cls(false).is_empty());
+  EXPECT_EQ(ins[0].cls(true), LtInterval(kNI, Time(40)));
+  // The other input's controlling class survives with a raised lmin.
+  EXPECT_EQ(ins[1].cls(false), LtInterval(Time(20), Time(40)));
+}
+
+TEST(Projection, DeadInputPropagatesEmptiness) {
+  std::array<AbstractSignal, 2> ins{
+      AbstractSignal::bottom(),
+      AbstractSignal::top()};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kAnd, DelaySpec::fixed(0), out, ins);
+  EXPECT_TRUE(out.is_bottom());
+}
+
+TEST(Projection, NorClassMapping) {
+  // NOR: controlling 1 -> output 0; all-0 inputs -> output 1.
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(3)}, LtInterval::empty()),
+      sig({kNI, Time(5)}, LtInterval::empty())};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kNor, DelaySpec::fixed(1), out, ins);
+  EXPECT_EQ(out.cls(true), LtInterval(kNI, Time(6)));
+  EXPECT_TRUE(out.cls(false).is_empty());
+}
+
+TEST(Projection, NotShiftsAndSwapsClasses) {
+  std::array<AbstractSignal, 1> ins{
+      sig({Time(1), Time(5)}, {Time(2), Time(9)})};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kNot, DelaySpec::fixed(3), out, ins);
+  EXPECT_EQ(out.cls(true), LtInterval(Time(4), Time(8)));   // from in class 0
+  EXPECT_EQ(out.cls(false), LtInterval(Time(5), Time(12)));  // from in class 1
+}
+
+TEST(Projection, BufBackwardExact) {
+  std::array<AbstractSignal, 1> ins{AbstractSignal::top()};
+  AbstractSignal out = sig({Time(10), Time(20)}, LtInterval::empty());
+  project_gate(GateType::kBuf, DelaySpec::fixed(4), out, ins);
+  EXPECT_EQ(ins[0].cls(false), LtInterval(Time(6), Time(16)));
+  EXPECT_TRUE(ins[0].cls(true).is_empty());
+}
+
+TEST(Projection, DelayIntervalWidensBothWays) {
+  std::array<AbstractSignal, 1> ins{
+      sig({Time(10), Time(20)}, LtInterval::empty())};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kDelay, DelaySpec{2, 5}, out, ins);
+  EXPECT_EQ(out.cls(false), LtInterval(Time(12), Time(25)));
+}
+
+TEST(Projection, XorForwardCancellationRelaxesLmin) {
+  // Overlapping operand intervals: simultaneous transitions may cancel.
+  std::array<AbstractSignal, 2> ins{
+      sig({Time(5), Time(10)}, LtInterval::empty()),
+      sig({Time(8), Time(12)}, LtInterval::empty())};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kXor, DelaySpec::fixed(0), out, ins);
+  EXPECT_EQ(out.cls(false), LtInterval(kNI, Time(12)));
+  EXPECT_TRUE(out.cls(true).is_empty());
+}
+
+TEST(Projection, XorForwardDisjointIsExact) {
+  std::array<AbstractSignal, 2> ins{
+      sig({Time(1), Time(3)}, LtInterval::empty()),
+      sig({Time(7), Time(9)}, LtInterval::empty())};
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kXor, DelaySpec::fixed(0), out, ins);
+  // lambda_a != lambda_b always: out transitions exactly at max in [7, 9].
+  EXPECT_EQ(out.cls(false), LtInterval(Time(7), Time(9)));
+}
+
+TEST(Projection, XorClassCombination) {
+  // a finally 0, b finally 1 -> XOR finally 1; XNOR finally 0.
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(2)}, LtInterval::empty()),
+      sig(LtInterval::empty(), {kNI, Time(3)})};
+  AbstractSignal out_xor = AbstractSignal::top();
+  project_gate(GateType::kXor, DelaySpec::fixed(1), out_xor, ins);
+  EXPECT_TRUE(out_xor.cls(false).is_empty());
+  EXPECT_EQ(out_xor.cls(true), LtInterval(kNI, Time(4)));
+
+  std::array<AbstractSignal, 2> ins2 = ins;
+  AbstractSignal out_xnor = AbstractSignal::top();
+  project_gate(GateType::kXnor, DelaySpec::fixed(1), out_xnor, ins2);
+  EXPECT_TRUE(out_xnor.cls(true).is_empty());
+  EXPECT_EQ(out_xnor.cls(false), LtInterval(kNI, Time(4)));
+}
+
+TEST(Projection, XorBackwardRequiresLateTransition) {
+  // Output must transition at/after 20; sibling settles by 5: each input's
+  // feasible class must supply the late transition.
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(40)}, LtInterval::empty()),
+      sig({kNI, Time(5)}, LtInterval::empty())};
+  AbstractSignal out = sig({Time(20), kPI}, {Time(20), kPI});
+  project_gate(GateType::kXor, DelaySpec::fixed(0), out, ins);
+  EXPECT_EQ(ins[0].cls(false), LtInterval(Time(20), Time(40)));
+}
+
+TEST(Projection, MuxForwardSelectsDataWindows) {
+  // sel undetermined; both data inputs finally 1.
+  std::array<AbstractSignal, 3> ins{
+      sig({kNI, Time(2)}, {kNI, Time(2)}),      // sel
+      sig(LtInterval::empty(), {kNI, Time(5)}),  // d0
+      sig(LtInterval::empty(), {kNI, Time(9)})};  // d1
+  AbstractSignal out = AbstractSignal::top();
+  project_gate(GateType::kMux, DelaySpec::fixed(1), out, ins);
+  EXPECT_TRUE(out.cls(false).is_empty());
+  EXPECT_EQ(out.cls(true), LtInterval(kNI, Time(10)));
+}
+
+TEST(Projection, MuxBackwardKillsImpossibleDataClass) {
+  // sel stuck at 0, output must be 1: d0 cannot be finally 0.
+  std::array<AbstractSignal, 3> ins{
+      sig({kNI, Time(0)}, LtInterval::empty()),  // sel = 0
+      AbstractSignal::top(),                      // d0
+      AbstractSignal::top()};                     // d1
+  AbstractSignal out = sig(LtInterval::empty(), {kNI, kPI});
+  project_gate(GateType::kMux, DelaySpec::fixed(0), out, ins);
+  EXPECT_TRUE(ins[1].cls(false).is_empty());
+  EXPECT_FALSE(ins[1].cls(true).is_empty());
+  // Deselected input unconstrained.
+  EXPECT_TRUE(ins[2].cls(false).is_top());
+}
+
+TEST(Projection, IdempotentAtFixpoint) {
+  // Re-applying after convergence changes nothing (monotone narrowing).
+  std::array<AbstractSignal, 2> ins{
+      sig({kNI, Time(50)}, {kNI, Time(50)}),
+      sig({kNI, Time(60)}, {kNI, Time(60)})};
+  AbstractSignal out = AbstractSignal::violating(Time(61));
+  for (int i = 0; i < 5; ++i) {
+    project_gate(GateType::kOr, DelaySpec::fixed(10), out, ins);
+  }
+  const auto snapshot_out = out;
+  const auto snapshot_in0 = ins[0];
+  const auto delta = project_gate(GateType::kOr, DelaySpec::fixed(10), out, ins);
+  EXPECT_FALSE(delta.any());
+  EXPECT_EQ(out, snapshot_out);
+  EXPECT_EQ(ins[0], snapshot_in0);
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,99 @@
+#include "verify/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sim/transition_sim.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(ReportIo, CheckReportJson) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const auto rep = v.check_output(*c.find_net("s"), Time(60));
+  const std::string j = to_json(c, rep);
+  EXPECT_NE(j.find("\"circuit\":\"hrapcenko\""), std::string::npos);
+  EXPECT_NE(j.find("\"conclusion\":\"V\""), std::string::npos);
+  EXPECT_NE(j.find("\"delta\":60"), std::string::npos);
+  EXPECT_NE(j.find("\"vector\":\""), std::string::npos);
+}
+
+TEST(ReportIo, NoViolationJsonHasNullVector) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const auto rep = v.check_output(*c.find_net("s"), Time(61));
+  const std::string j = to_json(c, rep);
+  EXPECT_NE(j.find("\"conclusion\":\"N\""), std::string::npos);
+  EXPECT_NE(j.find("\"vector\":null"), std::string::npos);
+}
+
+TEST(ReportIo, SuiteReportJsonListsOutputs) {
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto rep = v.check_circuit(Time(31));
+  const std::string j = to_json(c, rep);
+  EXPECT_NE(j.find("\"outputs\":["), std::string::npos);
+  EXPECT_NE(j.find("\"22\""), std::string::npos);
+}
+
+TEST(ReportIo, ExactDelayJson) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const std::string j = to_json(c, v.exact_floating_delay());
+  EXPECT_NE(j.find("\"topological_delay\":70"), std::string::npos);
+  EXPECT_NE(j.find("\"floating_delay\":60"), std::string::npos);
+  EXPECT_NE(j.find("\"exact\":true"), std::string::npos);
+}
+
+TEST(ReportIo, PessimismJson) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const std::string j = to_json(c, pessimism_report(v));
+  EXPECT_NE(j.find("\"worst_topological\":70"), std::string::npos);
+  EXPECT_NE(j.find("\"worst_floating\":60"), std::string::npos);
+}
+
+TEST(ReportIo, JsonEscaping) {
+  Circuit c("we\"ird\\name");
+  const NetId a = c.add_net("in\"1");
+  c.declare_input(a);
+  const NetId o = c.add_net("o");
+  c.add_gate(GateType::kBuf, o, {a}, DelaySpec::fixed(1));
+  c.declare_output(o);
+  c.finalize();
+  Verifier v(c);
+  const std::string j = to_json(c, v.check_output(o, Time(1)));
+  EXPECT_NE(j.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(ReportIo, TimingDiagramShape) {
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c);
+  const auto rep = v.check_output(*c.find_net("s"), Time(60));
+  ASSERT_TRUE(rep.vector.has_value());
+  const auto sim = simulate_floating(c, *rep.vector);
+  const auto path = critical_true_path(c, sim, *c.find_net("s"));
+  const std::string d = timing_diagram_string(c, sim, path, 40);
+  // One row per path net plus the axis line.
+  EXPECT_EQ(std::count(d.begin(), d.end(), '\n'), long(path.size()) + 1);
+  EXPECT_NE(d.find("settles@60"), std::string::npos);
+  EXPECT_NE(d.find('?'), std::string::npos);
+}
+
+TEST(ReportIo, TimingDiagramHandlesConstantNets) {
+  Circuit c("k");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const NetId o = c.add_net("o");
+  c.add_gate(GateType::kBuf, o, {a}, DelaySpec::fixed(5));
+  c.declare_output(o);
+  c.finalize();
+  const auto sim = simulate_transition(c, {true}, {true});  // settle -inf
+  const std::string d = timing_diagram_string(c, sim, {a, o}, 20);
+  EXPECT_NE(d.find("settles@-inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace waveck

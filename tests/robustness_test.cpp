@@ -1,0 +1,205 @@
+// Robustness properties: randomized trail stress against a snapshot model,
+// interval (dmin < dmax) delays, and transition-mode properties on random
+// circuits.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "constraints/constraint_system.hpp"
+#include "gen/generators.hpp"
+#include "sim/floating_sim.hpp"
+#include "sim/transition_sim.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed * 11400714819323198485ull + 1) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1d;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// Randomized push/restrict/fixpoint/pop sequences: after every pop the
+/// domains must match the snapshot taken at the corresponding push.
+class TrailStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrailStress, PopRestoresSnapshots) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 7;
+  cfg.gates = 30;
+  cfg.outputs = 3;
+  cfg.seed = GetParam();
+  const Circuit c = gen::random_circuit(cfg);
+  Rng rng(GetParam() * 31 + 7);
+
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.schedule_all();
+  cs.reach_fixpoint();
+
+  struct Level {
+    ConstraintSystem::Mark mark;
+    std::vector<AbstractSignal> snapshot;
+  };
+  auto snapshot = [&]() {
+    std::vector<AbstractSignal> s;
+    s.reserve(c.num_nets());
+    for (NetId n : c.all_nets()) s.push_back(cs.domain(n));
+    return s;
+  };
+  std::vector<Level> levels;
+
+  for (int step = 0; step < 200; ++step) {
+    const auto r = rng.below(10);
+    if (r < 4 || levels.empty()) {
+      levels.push_back({cs.push_state(), snapshot()});
+    } else if (r < 8) {
+      // Random restriction + propagation.
+      const NetId n{std::uint32_t(rng.below(c.num_nets()))};
+      const bool cls = rng.below(2) != 0;
+      if (rng.below(2) != 0) {
+        cs.restrict_domain(n, AbstractSignal::class_only(cls));
+      } else {
+        cs.restrict_domain(
+            n, AbstractSignal::violating(Time(std::int64_t(rng.below(40)))));
+      }
+      cs.reach_fixpoint();
+    } else {
+      const Level lvl = std::move(levels.back());
+      levels.pop_back();
+      cs.pop_to(lvl.mark);
+      for (NetId n : c.all_nets()) {
+        ASSERT_EQ(cs.domain(n), lvl.snapshot[n.index()])
+            << "seed " << GetParam() << " step " << step << " net "
+            << c.net(n).name;
+      }
+    }
+  }
+  // Unwind everything; the base state must be intact.
+  while (!levels.empty()) {
+    const Level lvl = std::move(levels.back());
+    levels.pop_back();
+    cs.pop_to(lvl.mark);
+    for (NetId n : c.all_nets()) {
+      ASSERT_EQ(cs.domain(n), lvl.snapshot[n.index()]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrailStress,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// With interval delays (dmin < dmax) the engine stays sound and exact
+/// w.r.t. the dmax-based floating oracle.
+class IntervalDelays : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalDelays, ExactAgainstDmaxOracle) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 20;
+  cfg.outputs = 3;
+  cfg.seed = GetParam() * 211 + 3;
+  Circuit c = gen::random_circuit(cfg);
+  for (GateId g : c.all_gates()) {
+    auto& d = c.gate_mut(g).delay;
+    d.dmin = d.dmax / 2;  // widen every delay interval
+  }
+  const Time oracle = exhaustive_floating_delay(c);
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact) << "seed " << cfg.seed;
+  EXPECT_EQ(res.delay, oracle) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalDelays,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+/// Transition-mode properties on random circuits: the verifier's
+/// check_transition agrees with simulate_transition at and above the
+/// settle time, for random vector pairs.
+class TransitionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransitionProperty, VerifierMatchesSimulator) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 18;
+  cfg.outputs = 2;
+  cfg.seed = GetParam() * 17 + 11;
+  const Circuit c = gen::random_circuit(cfg);
+  Verifier v(c);
+  Rng rng(GetParam());
+  const std::size_t n = c.inputs().size();
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<bool> v1(n), v2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v1[i] = rng.below(2) != 0;
+      v2[i] = rng.below(2) != 0;
+    }
+    const auto sim = simulate_transition(c, v1, v2);
+    for (NetId o : c.outputs()) {
+      const Time settle = sim.settle[o.index()];
+      if (settle != Time::neg_inf()) {
+        EXPECT_EQ(v.check_transition(o, settle, v1, v2).conclusion,
+                  CheckConclusion::kViolation)
+            << "seed " << cfg.seed;
+      }
+      const Time probe = settle == Time::neg_inf() ? Time(0) : settle + 1;
+      EXPECT_EQ(v.check_transition(o, probe, v1, v2).conclusion,
+                CheckConclusion::kNoViolation)
+          << "seed " << cfg.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitionProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// Narrowing forward bounds always admit the floating-simulated behaviour:
+/// for every vector, every net's settle time lies within the domain's
+/// class-max bound after the plain fixpoint (no delta restriction).
+class ForwardBoundSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForwardBoundSoundness, SimWithinDomains) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 22;
+  cfg.outputs = 3;
+  cfg.seed = GetParam() * 401 + 13;
+  const Circuit c = gen::random_circuit(cfg);
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.schedule_all();
+  ASSERT_EQ(cs.reach_fixpoint(),
+            ConstraintSystem::Status::kPossibleViolation);
+
+  std::vector<bool> vec(c.inputs().size());
+  for (unsigned bits = 0; bits < 64; ++bits) {
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = (bits >> i) & 1;
+    const auto sim = simulate_floating(c, vec);
+    for (NetId n : c.all_nets()) {
+      const bool val = sim.value[n.index()];
+      const auto& dom = cs.domain(n).cls(val);
+      ASSERT_FALSE(dom.is_empty()) << c.net(n).name;
+      ASSERT_GE(dom.max, sim.settle[n.index()])
+          << "seed " << cfg.seed << " vec " << bits << " net "
+          << c.net(n).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardBoundSoundness,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,120 @@
+#include "analysis/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(Scoap, PrimaryInputsAreUnit) {
+  const Circuit c = gen::c17();
+  const Scoap s = compute_scoap(c);
+  for (NetId in : c.inputs()) {
+    EXPECT_EQ(s.cc0[in.index()], 1u);
+    EXPECT_EQ(s.cc1[in.index()], 1u);
+  }
+}
+
+TEST(Scoap, AndGateFormulae) {
+  Circuit c("and");
+  const NetId a = c.add_net("a"), b = c.add_net("b"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kAnd, x, {a, b});
+  c.declare_output(x);
+  c.finalize();
+  const Scoap s = compute_scoap(c);
+  EXPECT_EQ(s.cc1[x.index()], 3u);  // both inputs to 1: 1+1+1
+  EXPECT_EQ(s.cc0[x.index()], 2u);  // one input to 0: min(1,1)+1
+  // Observability of a: need b=1 (non-controlling) + 1.
+  EXPECT_EQ(s.co[a.index()], 2u);
+  EXPECT_EQ(s.co[x.index()], 0u);
+}
+
+TEST(Scoap, NorGateFormulae) {
+  Circuit c("nor");
+  const NetId a = c.add_net("a"), b = c.add_net("b"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kNor, x, {a, b});
+  c.declare_output(x);
+  c.finalize();
+  const Scoap s = compute_scoap(c);
+  EXPECT_EQ(s.cc0[x.index()], 2u);  // one input to 1
+  EXPECT_EQ(s.cc1[x.index()], 3u);  // both to 0
+}
+
+TEST(Scoap, XorGateFormulae) {
+  Circuit c("xor");
+  const NetId a = c.add_net("a"), b = c.add_net("b"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kXor, x, {a, b});
+  c.declare_output(x);
+  c.finalize();
+  const Scoap s = compute_scoap(c);
+  EXPECT_EQ(s.cc0[x.index()], 3u);  // 00 or 11: 1+1, +1
+  EXPECT_EQ(s.cc1[x.index()], 3u);
+}
+
+TEST(Scoap, InverterSwaps) {
+  Circuit c("inv");
+  const NetId a = c.add_net("a"), x = c.add_net("x"), y = c.add_net("y");
+  c.declare_input(a);
+  c.add_gate(GateType::kAnd, x, {a, a});
+  c.add_gate(GateType::kNot, y, {x});
+  c.declare_output(y);
+  c.finalize();
+  const Scoap s = compute_scoap(c);
+  EXPECT_EQ(s.cc0[y.index()], s.cc1[x.index()] + 1);
+  EXPECT_EQ(s.cc1[y.index()], s.cc0[x.index()] + 1);
+}
+
+TEST(Scoap, DeeperNetsAreHarder) {
+  // AND chain: x_{k+1} = AND(x_k, in_k); cc1 accumulates along the chain.
+  Circuit c("chain");
+  NetId cur = c.add_net("x0");
+  c.declare_input(cur);
+  for (int k = 0; k < 6; ++k) {
+    const NetId in = c.add_net("i" + std::to_string(k));
+    c.declare_input(in);
+    const NetId nxt = c.add_net("x" + std::to_string(k + 1));
+    c.add_gate(GateType::kAnd, nxt, {cur, in});
+    cur = nxt;
+  }
+  c.declare_output(cur);
+  c.finalize();
+  const Scoap s = compute_scoap(c);
+  std::uint32_t prev = 0;
+  for (int k = 1; k <= 6; ++k) {
+    const std::uint32_t cc = s.cc1[c.find_net("x" + std::to_string(k))->index()];
+    EXPECT_GT(cc, prev) << k;
+    prev = cc;
+  }
+}
+
+TEST(Scoap, ObservabilityDecreasesTowardOutputs) {
+  const Circuit c = gen::c17();
+  const Scoap s = compute_scoap(c);
+  for (NetId o : c.outputs()) EXPECT_EQ(s.co[o.index()], 0u);
+  for (NetId in : c.inputs()) EXPECT_GT(s.co[in.index()], 0u);
+}
+
+TEST(Scoap, MuxControllability) {
+  Circuit c("mux");
+  const NetId s = c.add_net("s"), a = c.add_net("a"), b = c.add_net("b");
+  const NetId x = c.add_net("x");
+  c.declare_input(s);
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kMux, x, {s, a, b});
+  c.declare_output(x);
+  c.finalize();
+  const Scoap sc = compute_scoap(c);
+  EXPECT_EQ(sc.cc0[x.index()], 3u);  // sel + one data leg, +1
+  EXPECT_EQ(sc.cc1[x.index()], 3u);
+}
+
+}  // namespace
+}  // namespace waveck

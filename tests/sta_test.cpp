@@ -1,0 +1,45 @@
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(Sta, HrapcenkoReport) {
+  const Circuit c = gen::hrapcenko(10);
+  const StaReport r = run_sta(c);
+  EXPECT_EQ(r.topological_delay, Time(70));
+  ASSERT_EQ(r.output_arrivals.size(), 1u);
+  EXPECT_EQ(r.output_arrivals[0].second, Time(70));
+  ASSERT_FALSE(r.critical_path.empty());
+  EXPECT_TRUE(c.net(r.critical_path.front()).is_primary_input);
+  EXPECT_EQ(r.critical_path.back(), *c.find_net("s"));
+}
+
+TEST(Sta, OutputsSortedWorstFirst) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const StaReport r = run_sta(c);
+  for (std::size_t i = 1; i < r.output_arrivals.size(); ++i) {
+    EXPECT_GE(r.output_arrivals[i - 1].second, r.output_arrivals[i].second);
+  }
+  EXPECT_EQ(r.topological_delay, r.output_arrivals.front().second);
+}
+
+TEST(Sta, CriticalPathIsContiguous) {
+  Circuit c = gen::ripple_carry_adder(6);
+  c.set_uniform_delay(DelaySpec::fixed(5));
+  const StaReport r = run_sta(c);
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i) {
+    const GateId drv = c.net(r.critical_path[i]).driver;
+    ASSERT_TRUE(drv.valid());
+    bool feeds = false;
+    for (NetId in : c.gate(drv).ins) feeds |= (in == r.critical_path[i - 1]);
+    EXPECT_TRUE(feeds) << i;
+  }
+}
+
+}  // namespace
+}  // namespace waveck

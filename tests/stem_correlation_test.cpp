@@ -1,0 +1,183 @@
+#include "verify/stem_correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+/// Two parallel chains from stem `a`, each gated twice with contradictory
+/// requirements on a's final value (path A needs a=1 at gA and a=0 at hA;
+/// path B the mirror image). The OR merge keeps backward narrowing
+/// ambiguous -- either branch could carry the late transition -- so local
+/// propagation and dominators stay at P, but splitting on `a` refutes both
+/// classes: the paper's stem-correlation scenario (c2670/c6288).
+///
+/// All gates delay 10. Longest paths: a -> 3 DELAYs (30) -> gX (40) ->
+/// mX (50) -> hX (60) -> s (70). Floating delay is 50.
+Circuit gated_contradiction() {
+  Circuit c("stemx");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const DelaySpec d = DelaySpec::fixed(10);
+  auto chain3 = [&](const std::string& p, NetId from) {
+    NetId cur = from;
+    for (int i = 0; i < 3; ++i) {
+      const NetId nxt = c.add_net(p + std::to_string(i));
+      c.add_gate(GateType::kDelay, nxt, {cur}, d);
+      cur = nxt;
+    }
+    return cur;
+  };
+  const NetId na = c.add_net("na");
+  c.add_gate(GateType::kNot, na, {a}, d);
+  const NetId la = chain3("la", a);
+  const NetId lb = chain3("lb", a);
+  const NetId ga = c.add_net("ga"), ma = c.add_net("ma"),
+              ha = c.add_net("ha");
+  c.add_gate(GateType::kAnd, ga, {la, a}, d);   // needs a = 1
+  c.add_gate(GateType::kDelay, ma, {ga}, d);
+  c.add_gate(GateType::kAnd, ha, {ma, na}, d);  // needs a = 0
+  const NetId gb = c.add_net("gb"), mb = c.add_net("mb"),
+              hb = c.add_net("hb");
+  c.add_gate(GateType::kAnd, gb, {lb, na}, d);  // needs a = 0
+  c.add_gate(GateType::kDelay, mb, {gb}, d);
+  c.add_gate(GateType::kAnd, hb, {mb, a}, d);   // needs a = 1
+  const NetId s = c.add_net("s");
+  c.add_gate(GateType::kOr, s, {ha, hb}, d);
+  c.declare_output(s);
+  c.finalize();
+  return c;
+}
+
+ConstraintSystem make_system(const Circuit& c, NetId s, Time delta) {
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::violating(delta));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  return cs;
+}
+
+TEST(StemCorrelation, GatedContradictionFloatingDelayIs50) {
+  const Circuit c = gated_contradiction();
+  EXPECT_EQ(topological_delay(c), Time(70));
+  EXPECT_EQ(exhaustive_floating_delay(c), Time(50));
+}
+
+TEST(StemCorrelation, SplitRefutesWhatLocalNarrowingCannot) {
+  const Circuit c = gated_contradiction();
+  const NetId s = *c.find_net("s");
+  const NetId a = *c.find_net("a");
+  const TimingCheck check{s, Time(61)};
+  ConstraintSystem cs = make_system(c, s, Time(61));
+  ASSERT_FALSE(cs.inconsistent());  // local narrowing cannot see it
+
+  const NetId stems[] = {a};
+  const auto stats = apply_stem_correlation(cs, check, stems);
+  EXPECT_TRUE(stats.proved_no_violation);
+}
+
+TEST(StemCorrelation, BelowFloatingDelayStaysPossible) {
+  const Circuit c = gated_contradiction();
+  const NetId s = *c.find_net("s");
+  const NetId a = *c.find_net("a");
+  const TimingCheck check{s, Time(50)};  // achievable
+  ConstraintSystem cs = make_system(c, s, Time(50));
+  ASSERT_FALSE(cs.inconsistent());
+  const NetId stems[] = {a};
+  const auto stats = apply_stem_correlation(cs, check, stems);
+  EXPECT_FALSE(stats.proved_no_violation);
+  EXPECT_FALSE(cs.inconsistent());
+}
+
+TEST(StemCorrelation, OneSidedConflictBecomesNecessaryAssignment) {
+  // s = AND(x, y) with x = BUF(a), y = BUF(a) (reconvergent, consistent);
+  // require s to be finally 1 via a class restriction: the stem split must
+  // not break anything, and the a=0 branch conflicts.
+  Circuit c("agree");
+  const NetId a = c.add_net("a");
+  const NetId x = c.add_net("x"), y = c.add_net("y"), s = c.add_net("s");
+  c.declare_input(a);
+  c.add_gate(GateType::kBuf, x, {a}, DelaySpec::fixed(1));
+  c.add_gate(GateType::kBuf, y, {a}, DelaySpec::fixed(1));
+  c.add_gate(GateType::kAnd, s, {x, y}, DelaySpec::fixed(1));
+  c.declare_output(s);
+  c.finalize();
+
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::class_only(true)
+                            .intersect(AbstractSignal::violating(Time(0))));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  ASSERT_FALSE(cs.inconsistent());
+
+  const TimingCheck check{s, Time(0)};
+  const NetId stems[] = {a};
+  apply_stem_correlation(cs, check, stems);
+  EXPECT_FALSE(cs.inconsistent());
+  // The stem itself must have been fixed to class 1.
+  EXPECT_TRUE(cs.domain(a).single_class());
+  EXPECT_TRUE(cs.domain(a).the_class());
+}
+
+TEST(StemCorrelation, UnionKeepsBothFeasibleBranches) {
+  // Reconvergence where both stem classes admit solutions: correlation must
+  // not produce inconsistency (soundness smoke test).
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout = *c.find_net("cout");
+  const Time fl = exhaustive_floating_delay(c, cout, 17);
+  ASSERT_TRUE(find_violating_vector(c, cout, fl, 17).has_value());
+  const TimingCheck check{cout, fl};  // achievable: a vector exists
+  ConstraintSystem cs = make_system(c, cout, fl);
+  ASSERT_FALSE(cs.inconsistent());
+  std::vector<NetId> stems;
+  for (NetId n : c.fanout_stems()) {
+    if (c.is_reconvergent_stem(n)) stems.push_back(n);
+  }
+  const auto stats = apply_stem_correlation(cs, check, stems);
+  EXPECT_FALSE(stats.proved_no_violation);
+  EXPECT_FALSE(cs.inconsistent());
+}
+
+TEST(StemCorrelation, SkipsDecidedStems) {
+  const Circuit c = gated_contradiction();
+  const NetId s = *c.find_net("s");
+  const NetId a = *c.find_net("a");
+  const TimingCheck check{s, Time(50)};
+  ConstraintSystem cs = make_system(c, s, Time(50));
+  cs.restrict_domain(a, AbstractSignal::class_only(true));
+  cs.reach_fixpoint();
+  const bool was_inconsistent = cs.inconsistent();
+  const NetId stems[] = {a};
+  const auto stats = apply_stem_correlation(cs, check, stems);
+  if (!was_inconsistent) {
+    EXPECT_EQ(stats.stems_processed, 0u);  // single-class stems are skipped
+  }
+}
+
+TEST(StemCorrelation, NonCarrierStemsSkipped) {
+  // Pick a delta so high that nothing is a carrier: no stem is processed.
+  const Circuit c = gated_contradiction();
+  const NetId s = *c.find_net("s");
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  const TimingCheck check{s, Time(10000)};
+  const NetId stems[] = {*c.find_net("a")};
+  const auto stats = apply_stem_correlation(cs, check, stems);
+  EXPECT_EQ(stats.stems_processed, 0u);
+}
+
+}  // namespace
+}  // namespace waveck

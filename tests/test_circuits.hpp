@@ -1,0 +1,66 @@
+// Shared hand-crafted circuits for the test suites.
+#pragma once
+
+#include <string>
+
+#include "constraints/constraint_system.hpp"
+#include "gen/generators.hpp"
+
+namespace waveck::testing {
+
+/// Two parallel chains from stem `a`, each gated twice with contradictory
+/// requirements on a's final value (path A needs a=1 at gA and a=0 at hA;
+/// path B the mirror image). The OR merge keeps backward narrowing
+/// ambiguous -- either branch could carry the late transition -- so the
+/// plain fixpoint and the dominator implications stay at P for delta in
+/// (50, 70], yet no violation exists there: stem correlation or case
+/// analysis is required. All gates have delay 10; topological delay 70,
+/// floating delay 50.
+inline Circuit gated_contradiction() {
+  Circuit c("stemx");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const DelaySpec d = DelaySpec::fixed(10);
+  auto chain3 = [&](const std::string& p, NetId from) {
+    NetId cur = from;
+    for (int i = 0; i < 3; ++i) {
+      const NetId nxt = c.add_net(p + std::to_string(i));
+      c.add_gate(GateType::kDelay, nxt, {cur}, d);
+      cur = nxt;
+    }
+    return cur;
+  };
+  const NetId na = c.add_net("na");
+  c.add_gate(GateType::kNot, na, {a}, d);
+  const NetId la = chain3("la", a);
+  const NetId lb = chain3("lb", a);
+  const NetId ga = c.add_net("ga"), ma = c.add_net("ma"), ha = c.add_net("ha");
+  c.add_gate(GateType::kAnd, ga, {la, a}, d);   // needs a = 1
+  c.add_gate(GateType::kDelay, ma, {ga}, d);
+  c.add_gate(GateType::kAnd, ha, {ma, na}, d);  // needs a = 0
+  const NetId gb = c.add_net("gb"), mb = c.add_net("mb"), hb = c.add_net("hb");
+  c.add_gate(GateType::kAnd, gb, {lb, na}, d);  // needs a = 0
+  c.add_gate(GateType::kDelay, mb, {gb}, d);
+  c.add_gate(GateType::kAnd, hb, {mb, a}, d);   // needs a = 1
+  const NetId s = c.add_net("s");
+  c.add_gate(GateType::kOr, s, {ha, hb}, d);
+  c.declare_output(s);
+  c.finalize();
+  return c;
+}
+
+/// Standard timing-check setup: floating inputs, delta restriction on s,
+/// fixpoint reached.
+inline ConstraintSystem checked_system(const Circuit& c, NetId s,
+                                       Time delta) {
+  ConstraintSystem cs(c);
+  for (NetId in : c.inputs()) {
+    cs.restrict_domain(in, AbstractSignal::floating_input());
+  }
+  cs.restrict_domain(s, AbstractSignal::violating(delta));
+  cs.schedule_all();
+  cs.reach_fixpoint();
+  return cs;
+}
+
+}  // namespace waveck::testing

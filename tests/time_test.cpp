@@ -1,0 +1,56 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace waveck {
+namespace {
+
+TEST(Time, FiniteConstructionAndValue) {
+  const Time t(42);
+  EXPECT_TRUE(t.is_finite());
+  EXPECT_EQ(t.value(), 42);
+  EXPECT_FALSE(t.is_neg_inf());
+  EXPECT_FALSE(t.is_pos_inf());
+}
+
+TEST(Time, Infinities) {
+  EXPECT_TRUE(Time::neg_inf().is_neg_inf());
+  EXPECT_TRUE(Time::pos_inf().is_pos_inf());
+  EXPECT_FALSE(Time::neg_inf().is_finite());
+  EXPECT_FALSE(Time::pos_inf().is_finite());
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::neg_inf(), Time(-1000000));
+  EXPECT_LT(Time(-5), Time(3));
+  EXPECT_LT(Time(1000000), Time::pos_inf());
+  EXPECT_LT(Time::neg_inf(), Time::pos_inf());
+  EXPECT_EQ(Time(7), Time(7));
+}
+
+TEST(Time, SaturatingAddition) {
+  EXPECT_EQ(Time(5) + 3, Time(8));
+  EXPECT_EQ(Time(5) - 8, Time(-3));
+  EXPECT_EQ(Time::neg_inf() + 1000, Time::neg_inf());
+  EXPECT_EQ(Time::pos_inf() - 1000, Time::pos_inf());
+}
+
+TEST(Time, MinMax) {
+  EXPECT_EQ(Time::min(Time(3), Time(7)), Time(3));
+  EXPECT_EQ(Time::max(Time(3), Time(7)), Time(7));
+  EXPECT_EQ(Time::max(Time::neg_inf(), Time(0)), Time(0));
+  EXPECT_EQ(Time::min(Time::pos_inf(), Time(0)), Time(0));
+}
+
+TEST(Time, Streaming) {
+  std::ostringstream os;
+  os << Time(12) << " " << Time::neg_inf() << " " << Time::pos_inf();
+  EXPECT_EQ(os.str(), "12 -inf +inf");
+}
+
+TEST(Time, DefaultIsZero) { EXPECT_EQ(Time{}, Time(0)); }
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,114 @@
+#include "netlist/topo_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(TopoDelay, HrapcenkoTopIs70) {
+  const Circuit c = gen::hrapcenko(10);
+  EXPECT_EQ(topological_delay(c), Time(70));
+}
+
+TEST(TopoDelay, ArrivalPerNet) {
+  const Circuit c = gen::hrapcenko(10);
+  const auto top = topo_arrival(c);
+  auto at = [&](const char* n) { return top[c.find_net(n)->index()]; };
+  EXPECT_EQ(at("e1"), Time(0));
+  EXPECT_EQ(at("n1"), Time(10));
+  EXPECT_EQ(at("n2"), Time(20));
+  EXPECT_EQ(at("n3"), Time(30));
+  EXPECT_EQ(at("n4"), Time(40));
+  EXPECT_EQ(at("n5"), Time(50));
+  EXPECT_EQ(at("n6"), Time(50));
+  EXPECT_EQ(at("n7"), Time(60));
+  EXPECT_EQ(at("s"), Time(70));
+}
+
+TEST(TopoDelay, ToTarget) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  const auto dist = topo_to_target(c, s);
+  auto at = [&](const char* n) { return dist[c.find_net(n)->index()]; };
+  EXPECT_EQ(at("s"), Time(0));
+  EXPECT_EQ(at("n7"), Time(10));
+  EXPECT_EQ(at("n5"), Time(10));
+  EXPECT_EQ(at("n4"), Time(30));  // via n6/n7 (longer than via n5)
+  EXPECT_EQ(at("n1"), Time(60));
+  EXPECT_EQ(at("e1"), Time(70));
+  // e3 reaches s through both g2 (60 left) and g6 (30 left): max wins.
+  EXPECT_EQ(at("e3"), Time(60));
+}
+
+TEST(TopoDelay, UnreachableIsNegInf) {
+  Circuit c("u");
+  const NetId a = c.add_net("a");
+  const NetId b = c.add_net("b");
+  const NetId x = c.add_net("x");
+  const NetId y = c.add_net("y");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kNot, x, {a}, DelaySpec::fixed(1));
+  c.add_gate(GateType::kNot, y, {b}, DelaySpec::fixed(1));
+  c.declare_output(x);
+  c.declare_output(y);
+  c.finalize();
+  const auto dist = topo_to_target(c, x);
+  EXPECT_EQ(dist[b.index()], Time::neg_inf());
+  EXPECT_EQ(dist[y.index()], Time::neg_inf());
+  EXPECT_EQ(dist[a.index()], Time(1));
+}
+
+TEST(TopoDelay, LongestPathWitness) {
+  const Circuit c = gen::hrapcenko(10);
+  const auto path = longest_path_to(c, *c.find_net("s"));
+  ASSERT_GE(path.size(), 2u);
+  // Starts at an input, ends at s, and is consistent with top = 70: 8 gates.
+  EXPECT_TRUE(c.net(path.front()).is_primary_input);
+  EXPECT_EQ(path.back(), *c.find_net("s"));
+  EXPECT_EQ(path.size(), 8u);  // e?, n1, n2, n3, n4, n6, n7, s
+}
+
+TEST(TopoDelay, MinArrivalBoundsMaxArrival) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  for (GateId g : c.all_gates()) {
+    c.gate_mut(g).delay = DelaySpec{3, 10};
+  }
+  const auto lo = topo_arrival_min(c);
+  const auto hi = topo_arrival(c);
+  for (NetId n : c.all_nets()) {
+    EXPECT_LE(lo[n.index()], hi[n.index()]) << c.net(n).name;
+  }
+  // On the carry-skip structure the shortest path into cout is the skip
+  // route: strictly shorter than the longest.
+  const NetId cout = *c.find_net("cout");
+  EXPECT_LT(lo[cout.index()], hi[cout.index()]);
+}
+
+TEST(TopoDelay, MinArrivalUsesShortestPathAndDmin) {
+  Circuit c("m");
+  const NetId a = c.add_net("a");
+  c.declare_input(a);
+  const NetId x = c.add_net("x"), y = c.add_net("y"), z = c.add_net("z");
+  c.add_gate(GateType::kNot, x, {a}, DelaySpec{2, 9});
+  c.add_gate(GateType::kNot, y, {x}, DelaySpec{3, 7});
+  c.add_gate(GateType::kAnd, z, {y, a}, DelaySpec{1, 4});
+  c.declare_output(z);
+  c.finalize();
+  const auto lo = topo_arrival_min(c);
+  EXPECT_EQ(lo[z.index()], Time(1));  // via the direct a input
+  EXPECT_EQ(lo[y.index()], Time(5));  // 2 + 3
+}
+
+TEST(TopoDelay, CarrySkipTopGrowsWithWidth) {
+  Circuit small = gen::carry_skip_adder(8, 4);
+  Circuit big = gen::carry_skip_adder(16, 4);
+  small.set_uniform_delay(DelaySpec::fixed(10));
+  big.set_uniform_delay(DelaySpec::fixed(10));
+  EXPECT_LT(topological_delay(small), topological_delay(big));
+}
+
+}  // namespace
+}  // namespace waveck

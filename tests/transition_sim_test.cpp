@@ -1,0 +1,151 @@
+#include "sim/transition_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(TransitionSim, NonTogglingInputsAreConstant) {
+  Circuit c("buf");
+  const NetId a = c.add_net("a"), x = c.add_net("x");
+  c.declare_input(a);
+  c.add_gate(GateType::kBuf, x, {a}, DelaySpec::fixed(5));
+  c.declare_output(x);
+  c.finalize();
+  const auto steady = simulate_transition(c, {true}, {true});
+  EXPECT_EQ(steady.settle[x.index()], Time::neg_inf());
+  const auto toggle = simulate_transition(c, {false}, {true});
+  EXPECT_EQ(toggle.settle[x.index()], Time(5));
+  EXPECT_TRUE(toggle.value[x.index()]);
+}
+
+TEST(TransitionSim, ControllingInputStopsPropagation) {
+  Circuit c("and");
+  const NetId a = c.add_net("a"), b = c.add_net("b");
+  const NetId ad = c.add_net("ad"), x = c.add_net("x");
+  c.declare_input(a);
+  c.declare_input(b);
+  c.add_gate(GateType::kDelay, ad, {a}, DelaySpec::fixed(7));
+  c.add_gate(GateType::kAnd, x, {ad, b}, DelaySpec::fixed(1));
+  c.declare_output(x);
+  c.finalize();
+  // b constant 0 controls: the a-toggle never reaches x.
+  const auto r = simulate_transition(c, {false, false}, {true, false});
+  EXPECT_EQ(r.settle[x.index()], Time::neg_inf());
+  // b constant 1: the toggle passes through.
+  const auto r2 = simulate_transition(c, {false, true}, {true, true});
+  EXPECT_EQ(r2.settle[x.index()], Time(8));
+}
+
+TEST(TransitionSim, BoundedByFloatingMode) {
+  // For any pair, the transition settle time never exceeds the floating
+  // settle time of the destination vector.
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const std::size_t n = c.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  for (unsigned b1 = 0; b1 < 32; b1 += 3) {
+    for (unsigned b2 = 0; b2 < 32; ++b2) {
+      for (std::size_t i = 0; i < n; ++i) {
+        v1[i] = (b1 >> i) & 1;
+        v2[i] = (b2 >> i) & 1;
+      }
+      const auto tr = simulate_transition(c, v1, v2);
+      const auto fl = simulate_floating(c, v2);
+      for (NetId o : c.outputs()) {
+        EXPECT_LE(tr.settle[o.index()], fl.settle[o.index()]);
+      }
+    }
+  }
+}
+
+TEST(TransitionSim, ExhaustiveDelayAtMostFloating) {
+  Circuit c = gen::hrapcenko(10);
+  const Time tr = exhaustive_transition_delay(c);
+  EXPECT_LE(tr, exhaustive_floating_delay(c));
+  EXPECT_GT(tr, Time(0));
+}
+
+TEST(TransitionSim, InputSignalEncoding) {
+  const AbstractSignal steady = transition_input_signal(true, true);
+  EXPECT_TRUE(steady.cls(false).is_empty());
+  EXPECT_EQ(steady.cls(true),
+            LtInterval(Time::neg_inf(), Time::neg_inf()));
+  const AbstractSignal rise = transition_input_signal(false, true);
+  EXPECT_EQ(rise.cls(true), LtInterval(Time(0), Time(0)));
+  EXPECT_TRUE(rise.cls(false).is_empty());
+}
+
+TEST(TransitionSim, VerifierCheckTransitionAgreesWithSimulator) {
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const std::size_t n = c.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  for (unsigned b1 = 0; b1 < 32; b1 += 5) {
+    for (unsigned b2 = 0; b2 < 32; b2 += 3) {
+      for (std::size_t i = 0; i < n; ++i) {
+        v1[i] = (b1 >> i) & 1;
+        v2[i] = (b2 >> i) & 1;
+      }
+      const auto sim = simulate_transition(c, v1, v2);
+      for (NetId o : c.outputs()) {
+        const Time settle = sim.settle[o.index()];
+        const Time probe = settle == Time::neg_inf() ? Time(0) : settle;
+        const auto at = v.check_transition(o, probe, v1, v2);
+        const auto above = v.check_transition(o, probe + 1, v1, v2);
+        if (settle != Time::neg_inf()) {
+          EXPECT_EQ(at.conclusion, CheckConclusion::kViolation)
+              << b1 << "->" << b2;
+        }
+        EXPECT_EQ(above.conclusion, CheckConclusion::kNoViolation)
+            << b1 << "->" << b2;
+      }
+    }
+  }
+}
+
+TEST(TransitionSim, CriticalTruePathFollowsWitness) {
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  Verifier v(c);
+  const auto rep = v.check_output(s, Time(60));
+  ASSERT_EQ(rep.conclusion, CheckConclusion::kViolation);
+  const auto sim = simulate_floating(c, *rep.vector);
+  const auto path = critical_true_path(c, sim, s);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.back(), s);
+  EXPECT_TRUE(c.net(path.front()).is_primary_input);
+  // Path must be connected and its length consistent with the settle time:
+  // each hop goes through the driving gate.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const GateId drv = c.net(path[i]).driver;
+    ASSERT_TRUE(drv.valid());
+    bool feeds = false;
+    for (NetId in : c.gate(drv).ins) feeds |= (in == path[i - 1]);
+    EXPECT_TRUE(feeds) << i;
+  }
+  // The witness settles at 60 = 6 gates after the path start: the true
+  // path has 7 nets (not the 8-net topological one).
+  EXPECT_EQ(path.size(), 7u);
+}
+
+TEST(TransitionSim, CriticalPathSettleMonotone) {
+  // Settle times never decrease along the reported true path.
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  const NetId cout = *c.find_net("cout");
+  const std::vector<bool> vec(c.inputs().size(), true);
+  const auto sim = simulate_floating(c, vec);
+  const auto path = critical_true_path(c, sim, cout);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LE(sim.settle[path[i - 1].index()], sim.settle[path[i].index()]);
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,105 @@
+// Cross-mode verifier behaviours that the per-module suites do not cover:
+// transition vs floating ordering through the Verifier API, per-output
+// delay consistency with circuit-level results, and option interplay.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/topo_delay.hpp"
+#include "sim/transition_sim.hpp"
+#include "verify/pessimism.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+TEST(VerifierModes, TransitionNeverExceedsFloatingConclusion) {
+  // If floating mode proves N at delta, every transition pair is also N.
+  const Circuit c = gen::hrapcenko(10);
+  const NetId s = *c.find_net("s");
+  Verifier v(c);
+  ASSERT_EQ(v.check_output(s, Time(61)).conclusion,
+            CheckConclusion::kNoViolation);
+  const std::size_t n = c.inputs().size();
+  for (unsigned b1 = 0; b1 < (1u << n); b1 += 17) {
+    for (unsigned b2 = 0; b2 < (1u << n); b2 += 23) {
+      std::vector<bool> v1(n), v2(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v1[i] = (b1 >> i) & 1;
+        v2[i] = (b2 >> i) & 1;
+      }
+      EXPECT_EQ(v.check_transition(s, Time(61), v1, v2).conclusion,
+                CheckConclusion::kNoViolation);
+    }
+  }
+}
+
+TEST(VerifierModes, TransitionDelayBoundedByFloatingDelay) {
+  Circuit c = gen::c17();
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto fl = v.exact_floating_delay();
+  for (NetId o : c.outputs()) {
+    EXPECT_LE(exhaustive_transition_delay(c, o), fl.delay);
+  }
+}
+
+TEST(VerifierModes, PerOutputMaxEqualsCircuitDelay) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto circuit_exact = v.exact_floating_delay();
+  const auto rep = pessimism_report(v);
+  EXPECT_EQ(rep.worst_floating, circuit_exact.delay);
+  EXPECT_EQ(rep.worst_topological, circuit_exact.topological);
+}
+
+TEST(VerifierModes, CheckCircuitConsistentWithPerOutputChecks) {
+  const Circuit c = gen::prepare_for_experiment(gen::build_raw("c1908"));
+  VerifyOptions opt;
+  Verifier v(c, opt);
+  const auto exact = v.exact_floating_delay();
+  ASSERT_TRUE(exact.exact);
+  // At exact+1 every per-output check individually concludes N.
+  const auto arr = topo_arrival(c);
+  for (NetId o : c.outputs()) {
+    if (arr[o.index()] < exact.delay + 1) continue;
+    EXPECT_EQ(v.check_output(o, exact.delay + 1).conclusion,
+              CheckConclusion::kNoViolation)
+        << c.net(o).name;
+  }
+}
+
+TEST(VerifierModes, DelayCorrelationNeutralOnPointDelays) {
+  // With point delays the correlation stage is a no-op pass-through for
+  // arbitrary grouping, including through case analysis.
+  Circuit c = gen::hrapcenko(10);
+  for (GateId g : c.all_gates()) c.gate_mut(g).delay.group = 1;
+  VerifyOptions with;
+  with.use_delay_correlation = true;
+  Verifier v_with(c, with);
+  Verifier v_plain(c);
+  for (std::int64_t delta : {55, 60, 61, 70}) {
+    EXPECT_EQ(v_with.check_output(*c.find_net("s"), Time(delta)).conclusion,
+              v_plain.check_output(*c.find_net("s"), Time(delta)).conclusion)
+        << delta;
+  }
+}
+
+TEST(VerifierModes, AllStagesOffStillExactViaSearch) {
+  VerifyOptions opt;
+  opt.use_learning = false;
+  opt.use_dominators = false;
+  opt.use_stem_correlation = false;
+  opt.case_analysis.dominators_in_search = false;
+  opt.case_analysis.use_scoap = false;
+  opt.case_analysis.three_phase = false;
+  const Circuit c = gen::hrapcenko(10);
+  Verifier v(c, opt);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact);
+  EXPECT_EQ(res.delay, Time(60));
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,234 @@
+// Brute-force semantic checks of the gate projections.
+//
+// Ground truth: binary waveforms enumerated on the window [kLo, kHi]
+// (constant outside it), which makes the gate output *exactly* determined
+// on its own shifted window [kLo+d, kHi+d]. For every pair of feasible
+// input waveforms the timed Boolean function gives the output's final value
+// and last-transition time; `project_gate` must be sound: no feasible
+// (class, lambda) may be removed from any terminal. This validates the
+// Section 3.2 narrowing rules far beyond the paper's worked examples.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "constraints/projection.hpp"
+
+namespace waveck {
+namespace {
+
+constexpr int kLo = -3;
+constexpr int kHi = 4;
+constexpr int kBits = kHi - kLo + 1;  // 8 -> 256 waveforms per signal
+constexpr unsigned kCount = 1u << kBits;
+
+/// value of input waveform `w` at time t (constant before kLo / after kHi).
+bool value_at(unsigned w, int t) {
+  const int idx = std::clamp(t, kLo, kHi) - kLo;
+  return (w >> idx) & 1;
+}
+
+/// Final value + last-transition time of a signal.
+struct Wf {
+  bool final_v;
+  Time lambda;
+};
+
+Wf input_wf(unsigned w) {
+  const bool v = value_at(w, kHi);
+  for (int t = kHi; t >= kLo; --t) {
+    if (value_at(w, t) != v) return {v, Time(t)};
+  }
+  return {v, Time::neg_inf()};
+}
+
+/// Output of an n-input gate with fixed delay d, characterised exactly on
+/// [kLo + d, kHi + d] (inputs are constant outside their window, so the
+/// output is constant outside this one).
+Wf gate_wf(GateType t, int d, const std::vector<unsigned>& ws) {
+  std::vector<bool> vals(ws.size());
+  auto out_at = [&](int tt) {
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      vals[i] = value_at(ws[i], tt - d);
+    }
+    return eval_gate(t, vals);
+  };
+  const bool v = out_at(kHi + d);
+  for (int tt = kHi + d; tt >= kLo + d; --tt) {
+    if (out_at(tt) != v) return {v, Time(tt)};
+  }
+  return {v, Time::neg_inf()};
+}
+
+bool member(const AbstractSignal& s, const Wf& w) {
+  return s.cls(w.final_v).contains(w.lambda);
+}
+
+/// (final, lambda) bucket index for the output bookkeeping.
+constexpr int kLambdaSlots = kBits + 2 + 4;  // -inf + window + delay skew
+int bucket(const Wf& w, int d) {
+  const int base = w.lambda.is_neg_inf() ? 0 : int(w.lambda.value()) - kLo - d + 1;
+  return (w.final_v ? kLambdaSlots : 0) + base;
+}
+Wf unbucket(int idx, int d) {
+  const bool v = idx >= kLambdaSlots;
+  const int base = idx % kLambdaSlots;
+  return {v, base == 0 ? Time::neg_inf() : Time(base - 1 + kLo + d)};
+}
+
+/// Deterministic generator for abstract signals with boundaries around the
+/// window.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1d;
+  }
+  Time bound() {
+    const auto k = next() % (kBits + 6);
+    if (k == 0) return Time::neg_inf();
+    if (k == 1) return Time::pos_inf();
+    return Time(kLo - 2 + static_cast<int>(k) - 2);
+  }
+  LtInterval interval() {
+    for (int tries = 0; tries < 4; ++tries) {
+      const LtInterval i{bound(), bound()};
+      if (!i.is_empty()) return i;
+    }
+    return LtInterval::top();
+  }
+  AbstractSignal signal() {
+    AbstractSignal s{interval(), interval()};
+    if (next() % 4 == 0) s.cls(next() % 2 == 0) = LtInterval::empty();
+    return s;
+  }
+};
+
+/// Core check: enumerate feasible triples of the relation, project, and
+/// assert nothing feasible was narrowed away.
+void check_soundness(GateType type, int delay, std::size_t arity,
+                     std::uint64_t seed, int trials,
+                     const std::array<unsigned, 3>& strides) {
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<AbstractSignal> in(arity);
+    for (auto& s : in) s = rng.signal();
+    const AbstractSignal in_s = rng.signal();
+
+    std::vector<std::vector<bool>> feas(arity,
+                                        std::vector<bool>(kCount, false));
+    std::vector<bool> feas_out(2 * kLambdaSlots, false);
+
+    std::vector<unsigned> ws(arity);
+    // Nested enumeration with per-position strides (cost control).
+    std::vector<unsigned> idx(arity, 0);
+    auto advance = [&]() {
+      for (std::size_t i = 0; i < arity; ++i) {
+        idx[i] += strides[i];
+        if (idx[i] < kCount) return true;
+        idx[i] = 0;
+      }
+      return false;
+    };
+    do {
+      bool ok = true;
+      for (std::size_t i = 0; i < arity && ok; ++i) {
+        ws[i] = idx[i];
+        ok = member(in[i], input_wf(ws[i]));
+      }
+      if (!ok) continue;
+      const Wf out = gate_wf(type, delay, ws);
+      if (!member(in_s, out)) continue;
+      for (std::size_t i = 0; i < arity; ++i) feas[i][ws[i]] = true;
+      feas_out[bucket(out, delay)] = true;
+    } while (advance());
+
+    AbstractSignal out_sig = in_s;
+    std::vector<AbstractSignal> ins = in;
+    project_gate(type, DelaySpec::fixed(delay), out_sig,
+                 std::span<AbstractSignal>(ins));
+
+    for (std::size_t i = 0; i < arity; ++i) {
+      for (unsigned w = 0; w < kCount; ++w) {
+        if (!feas[i][w]) continue;
+        const Wf wf = input_wf(w);
+        ASSERT_TRUE(member(ins[i], wf))
+            << to_string(type) << " d=" << delay << " trial " << trial
+            << ": input " << i << " waveform " << w << " (lambda "
+            << wf.lambda << ", final " << wf.final_v << ") removed; was "
+            << in[i].str() << " -> " << ins[i].str();
+      }
+    }
+    for (int bidx = 0; bidx < 2 * kLambdaSlots; ++bidx) {
+      if (!feas_out[bidx]) continue;
+      const Wf wf = unbucket(bidx, delay);
+      ASSERT_TRUE(member(out_sig, wf))
+          << to_string(type) << " d=" << delay << " trial " << trial
+          << ": output (lambda " << wf.lambda << ", final " << wf.final_v
+          << ") removed; was " << in_s.str() << " -> " << out_sig.str();
+    }
+  }
+}
+
+class BinaryGateSoundness
+    : public ::testing::TestWithParam<std::tuple<GateType, int>> {};
+
+TEST_P(BinaryGateSoundness, NoFeasibleWaveformRemoved) {
+  const auto [type, delay] = GetParam();
+  check_soundness(type, delay, 2,
+                  static_cast<std::uint64_t>(type) * 1337 + delay, 30,
+                  {1, 1, 1});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GatesAndDelays, BinaryGateSoundness,
+    ::testing::Combine(::testing::Values(GateType::kAnd, GateType::kNand,
+                                         GateType::kOr, GateType::kNor,
+                                         GateType::kXor, GateType::kXnor),
+                       ::testing::Values(0, 1, 2)));
+
+class UnaryGateSoundness
+    : public ::testing::TestWithParam<std::tuple<GateType, int>> {};
+
+TEST_P(UnaryGateSoundness, NoFeasibleWaveformRemoved) {
+  const auto [type, delay] = GetParam();
+  check_soundness(type, delay, 1,
+                  static_cast<std::uint64_t>(type) * 7919 + delay, 60,
+                  {1, 1, 1});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GatesAndDelays, UnaryGateSoundness,
+    ::testing::Combine(::testing::Values(GateType::kNot, GateType::kBuf,
+                                         GateType::kDelay),
+                       ::testing::Values(0, 1, 3)));
+
+class MuxSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MuxSoundness, NoFeasibleWaveformRemoved) {
+  const int delay = GetParam();
+  // Strides keep the 3-deep enumeration tractable; the select input is
+  // enumerated densely (it drives the interesting rules).
+  check_soundness(GateType::kMux, delay, 3, 50021 + delay, 6, {1, 3, 5});
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, MuxSoundness, ::testing::Values(0, 1));
+
+class WideGateSoundness : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(WideGateSoundness, ThreeInputNoFeasibleWaveformRemoved) {
+  const GateType type = GetParam();
+  check_soundness(type, 1, 3, static_cast<std::uint64_t>(type) * 24007 + 5,
+                  4, {2, 3, 5});
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, WideGateSoundness,
+                         ::testing::Values(GateType::kAnd, GateType::kNand,
+                                           GateType::kOr, GateType::kNor));
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,329 @@
+// waveck command-line front end.
+//
+//   waveck sta     FILE.bench [DELAYS]            topological report
+//   waveck check   FILE.bench DELTA [OUT] [DELAYS]  timing check
+//   waveck delay   FILE.bench [DELAYS]            exact floating delay
+//   waveck outputs FILE.bench [DELAYS]            per-output pessimism table
+//   waveck learn   FILE.bench                     static-learning statistics
+//
+// DELAYS is an annotation file (`net dmin dmax`, `*` = default); without
+// one every gate gets the paper's delay of 10.
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/learning.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/delay_annotation.hpp"
+#include "netlist/transforms.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sim/floating_sim.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/transition_sim.hpp"
+#include "sta/sta.hpp"
+#include "verify/pessimism.hpp"
+#include "verify/report_io.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+using namespace waveck;
+
+int usage() {
+  std::cerr <<
+      "usage: waveck <command> FILE.bench [args]\n"
+      "  sta     FILE [DELAYS]             topological timing report\n"
+      "  check   FILE DELTA [OUT] [DELAYS] can a transition occur at/after "
+      "DELTA?\n"
+      "  delay   FILE [DELAYS]             exact floating-mode delay + "
+      "witness\n"
+      "  outputs FILE [DELAYS]             per-output pessimism table\n"
+      "  learn   FILE                      static-learning statistics\n"
+      "  path    FILE [DELAYS]             exact delay + sensitizable path\n"
+      "  trans   FILE V1 V2 [DELAYS]       two-vector transition delays\n"
+      "  mc      FILE [SAMPLES] [DELAYS]   Monte-Carlo delay lower bound\n"
+      "  json    FILE [DELAYS]             exact delay report as JSON\n"
+      "  gen     NAME [v]                  emit a generated circuit as .bench\n"
+      "                                    (or Verilog); NAME: c17, c432..c7552,\n"
+      "                                    hrapcenko, csa16, csel16, ks16,\n"
+      "                                    mul8, wallace8\n"
+      "FILE may be ISCAS `.bench` or structural Verilog `.v`.\n";
+  return 2;
+}
+
+Circuit load(const std::string& path, const std::string& delays) {
+  const bool verilog = path.size() > 2 && path.substr(path.size() - 2) == ".v";
+  Circuit c = verilog ? read_verilog_file(path) : read_bench_file(path);
+  if (!delays.empty()) {
+    read_delays_file(delays, c);
+  } else {
+    c.set_uniform_delay(DelaySpec::fixed(10));
+  }
+  return decompose_for_solver(c);
+}
+
+int cmd_sta(const Circuit& c) {
+  const StaReport r = run_sta(c);
+  std::cout << c.name() << ": " << c.num_gates() << " gates, "
+            << c.inputs().size() << " inputs, " << c.outputs().size()
+            << " outputs\n";
+  std::cout << "topological delay: " << r.topological_delay << "\n";
+  std::cout << "worst outputs:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, r.output_arrivals.size());
+       ++i) {
+    std::cout << "  " << c.net(r.output_arrivals[i].first).name << "  "
+              << r.output_arrivals[i].second << "\n";
+  }
+  std::cout << "critical path:";
+  for (NetId n : r.critical_path) std::cout << " " << c.net(n).name;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_check(const Circuit& c, const std::string& delta_str,
+              const std::string& out_name) {
+  const Time delta(std::stoll(delta_str));
+  Verifier v(c);
+  if (!out_name.empty()) {
+    const auto net = c.find_net(out_name);
+    if (!net) {
+      std::cerr << "no such net: " << out_name << "\n";
+      return 2;
+    }
+    const auto rep = v.check_output(*net, delta);
+    std::cout << "check (" << out_name << ", " << delta
+              << "): " << to_string(rep.conclusion) << "  [stages "
+              << to_string(rep.before_gitd) << "/" << to_string(rep.after_gitd)
+              << "/" << to_string(rep.after_stem) << ", " << rep.backtracks
+              << " backtracks, " << std::fixed << std::setprecision(3)
+              << rep.seconds << "s]\n";
+    if (rep.vector) {
+      std::cout << "vector: " << format_vector(*rep.vector) << "\n";
+    }
+    return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
+  }
+  const auto rep = v.check_circuit(delta);
+  std::cout << "check (all outputs, " << delta
+            << "): " << to_string(rep.conclusion) << "  [" << rep.backtracks
+            << " backtracks, " << std::fixed << std::setprecision(3)
+            << rep.seconds << "s]\n";
+  if (rep.vector) {
+    std::cout << "vector: " << format_vector(*rep.vector) << " (output "
+              << c.net(*rep.violating_output).name << ")\n";
+  }
+  return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
+}
+
+int cmd_delay(const Circuit& c) {
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  std::cout << "topological delay: " << res.topological << "\n";
+  std::cout << (res.exact ? "exact floating delay: "
+                          : "floating delay bound (search abandoned): ")
+            << res.delay << "  (" << res.probes << " probes, "
+            << res.total_backtracks << " backtracks)\n";
+  if (res.witness) {
+    std::cout << "witness: " << format_vector(*res.witness) << "\n";
+    const auto sim = simulate_floating(c, *res.witness);
+    Time settle = Time::neg_inf();
+    for (NetId o : c.outputs()) {
+      settle = Time::max(settle, sim.settle[o.index()]);
+    }
+    std::cout << "simulated settle: " << settle << "\n";
+  }
+  return 0;
+}
+
+int cmd_outputs(const Circuit& c) {
+  Verifier v(c);
+  const auto rep = pessimism_report(v);
+  std::cout << std::left << std::setw(20) << "OUTPUT" << std::setw(12)
+            << "TOP" << std::setw(12) << "FLOATING" << std::setw(10)
+            << "GAP"
+            << "\n";
+  for (const auto& od : rep.outputs) {
+    const auto gap = od.topological.is_finite() && od.floating.is_finite()
+                         ? od.topological.value() - od.floating.value()
+                         : 0;
+    std::cout << std::left << std::setw(20) << c.net(od.output).name
+              << std::setw(12) << od.topological.str() << std::setw(12)
+              << (od.floating.str() + (od.exact ? "" : "?")) << std::setw(10)
+              << gap << "\n";
+  }
+  std::cout << "worst: top " << rep.worst_topological << ", floating "
+            << rep.worst_floating << "\n";
+  return 0;
+}
+
+int cmd_learn(const Circuit& c) {
+  const auto res = learn_implications(c);
+  std::cout << "implications: " << res.table.size() << " (direct "
+            << res.direct << ", contrapositive " << res.contrapositive
+            << ")\n";
+  std::cout << "globally impossible net classes: " << res.impossible.size()
+            << "\n";
+  for (const auto& [net, cls] : res.impossible) {
+    std::cout << "  " << c.net(net).name << " can never settle at "
+              << (cls ? 1 : 0) << "\n";
+  }
+  return 0;
+}
+
+int cmd_path(const Circuit& c) {
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  std::cout << "exact floating delay: " << res.delay
+            << " (topological " << res.topological << ")\n";
+  if (!res.witness || !res.witness_output) {
+    std::cout << "no witness vector available\n";
+    return 0;
+  }
+  const auto sim = simulate_floating(c, *res.witness);
+  // Report the path into the output that actually realises the delay under
+  // this witness (it may differ from the probe output the search hit).
+  NetId worst = *res.witness_output;
+  for (NetId o : c.outputs()) {
+    if (sim.settle[o.index()] > sim.settle[worst.index()]) worst = o;
+  }
+  const auto path = critical_true_path(c, sim, worst);
+  std::cout << "witness: " << format_vector(*res.witness) << " (output "
+            << c.net(worst).name << ")\n";
+  std::cout << "sensitized true path (" << path.size() << " nets):\n  ";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) std::cout << " -> ";
+    std::cout << c.net(path[i]).name << "@"
+              << sim.settle[path[i].index()];
+  }
+  std::cout << "\n\n";
+  render_timing_diagram(std::cout, c, sim, path);
+  return 0;
+}
+
+int cmd_mc(const Circuit& c, std::size_t samples) {
+  const auto mc = refined_floating_delay(c, samples);
+  std::cout << "floating delay lower bound: " << mc.delay << " ("
+            << mc.samples << " simulations incl. refinement)\n";
+  if (!mc.witness.empty()) {
+    std::cout << "witness: " << format_vector(mc.witness) << " (output "
+              << c.net(mc.output).name << ")\n";
+  }
+  return 0;
+}
+
+int cmd_json(const Circuit& c) {
+  Verifier v(c);
+  std::cout << to_json(c, v.exact_floating_delay()) << "\n";
+  return 0;
+}
+
+std::vector<bool> parse_bits(const std::string& s, std::size_t n) {
+  if (s.size() != n) {
+    throw std::invalid_argument("vector must have exactly " +
+                                std::to_string(n) + " bits");
+  }
+  std::vector<bool> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s[i] != '0' && s[i] != '1') {
+      throw std::invalid_argument("vector bits must be 0/1");
+    }
+    v[i] = s[i] == '1';
+  }
+  return v;
+}
+
+int cmd_trans(const Circuit& c, const std::string& s1,
+              const std::string& s2) {
+  const auto v1 = parse_bits(s1, c.inputs().size());
+  const auto v2 = parse_bits(s2, c.inputs().size());
+  const auto r = simulate_transition(c, v1, v2);
+  std::cout << std::left << std::setw(20) << "OUTPUT" << std::setw(8)
+            << "VALUE" << std::setw(12) << "SETTLE"
+            << "\n";
+  for (NetId o : c.outputs()) {
+    std::cout << std::left << std::setw(20) << c.net(o).name << std::setw(8)
+              << (r.value[o.index()] ? 1 : 0) << std::setw(12)
+              << r.settle[o.index()].str() << "\n";
+  }
+  return 0;
+}
+
+int cmd_gen(const std::string& name, bool verilog) {
+  Circuit c;
+  if (name == "hrapcenko") {
+    c = gen::hrapcenko();
+  } else if (name == "csa16") {
+    c = gen::carry_skip_adder(16, 4);
+  } else if (name == "csel16") {
+    c = gen::carry_select_adder(16, 4);
+  } else if (name == "ks16") {
+    c = gen::kogge_stone_adder(16);
+  } else if (name == "mul8") {
+    c = gen::array_multiplier(8);
+  } else if (name == "wallace8") {
+    c = gen::wallace_multiplier(8);
+  } else {
+    c = gen::build_raw(name);  // the Table-1 suite names
+  }
+  if (verilog) {
+    write_verilog(std::cout, c);
+  } else {
+    write_bench(std::cout, c);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string file = argv[2];
+  try {
+    if (cmd == "sta") {
+      return cmd_sta(load(file, argc > 3 ? argv[3] : ""));
+    }
+    if (cmd == "check") {
+      if (argc < 4) return usage();
+      std::string out_name;
+      std::string delays;
+      if (argc > 4) out_name = argv[4];
+      if (argc > 5) delays = argv[5];
+      return cmd_check(load(file, delays), argv[3], out_name);
+    }
+    if (cmd == "delay") {
+      return cmd_delay(load(file, argc > 3 ? argv[3] : ""));
+    }
+    if (cmd == "outputs") {
+      return cmd_outputs(load(file, argc > 3 ? argv[3] : ""));
+    }
+    if (cmd == "learn") {
+      return cmd_learn(load(file, ""));
+    }
+    if (cmd == "path") {
+      return cmd_path(load(file, argc > 3 ? argv[3] : ""));
+    }
+    if (cmd == "trans") {
+      if (argc < 5) return usage();
+      return cmd_trans(load(file, argc > 5 ? argv[5] : ""), argv[3],
+                       argv[4]);
+    }
+    if (cmd == "mc") {
+      const std::size_t samples =
+          argc > 3 ? std::stoull(argv[3]) : std::size_t{1000};
+      return cmd_mc(load(file, argc > 4 ? argv[4] : ""), samples);
+    }
+    if (cmd == "json") {
+      return cmd_json(load(file, argc > 3 ? argv[3] : ""));
+    }
+    if (cmd == "gen") {
+      return cmd_gen(file, argc > 3 && std::string(argv[3]) == "v");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

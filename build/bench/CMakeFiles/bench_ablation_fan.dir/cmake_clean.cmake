@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fan.dir/bench_ablation_fan.cpp.o"
+  "CMakeFiles/bench_ablation_fan.dir/bench_ablation_fan.cpp.o.d"
+  "bench_ablation_fan"
+  "bench_ablation_fan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_paths.dir/bench_baseline_paths.cpp.o"
+  "CMakeFiles/bench_baseline_paths.dir/bench_baseline_paths.cpp.o.d"
+  "bench_baseline_paths"
+  "bench_baseline_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dominator_effect.dir/bench_dominator_effect.cpp.o"
+  "CMakeFiles/bench_dominator_effect.dir/bench_dominator_effect.cpp.o.d"
+  "bench_dominator_effect"
+  "bench_dominator_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dominator_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

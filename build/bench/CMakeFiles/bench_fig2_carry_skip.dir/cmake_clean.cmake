@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_carry_skip.dir/bench_fig2_carry_skip.cpp.o"
+  "CMakeFiles/bench_fig2_carry_skip.dir/bench_fig2_carry_skip.cpp.o.d"
+  "bench_fig2_carry_skip"
+  "bench_fig2_carry_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_carry_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/waveck_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/waveck_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/waveck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/waveck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/waveck_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/waveck_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/waveck_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_audit.dir/adder_audit.cpp.o"
+  "CMakeFiles/adder_audit.dir/adder_audit.cpp.o.d"
+  "adder_audit"
+  "adder_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_path_tour.dir/false_path_tour.cpp.o"
+  "CMakeFiles/false_path_tour.dir/false_path_tour.cpp.o.d"
+  "false_path_tour"
+  "false_path_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_path_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

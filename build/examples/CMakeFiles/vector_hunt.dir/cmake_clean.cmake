@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_hunt.dir/vector_hunt.cpp.o"
+  "CMakeFiles/vector_hunt.dir/vector_hunt.cpp.o.d"
+  "vector_hunt"
+  "vector_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

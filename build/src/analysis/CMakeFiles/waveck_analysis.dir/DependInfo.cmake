@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/carriers.cpp" "src/analysis/CMakeFiles/waveck_analysis.dir/carriers.cpp.o" "gcc" "src/analysis/CMakeFiles/waveck_analysis.dir/carriers.cpp.o.d"
+  "/root/repo/src/analysis/delay_correlation.cpp" "src/analysis/CMakeFiles/waveck_analysis.dir/delay_correlation.cpp.o" "gcc" "src/analysis/CMakeFiles/waveck_analysis.dir/delay_correlation.cpp.o.d"
+  "/root/repo/src/analysis/head_lines.cpp" "src/analysis/CMakeFiles/waveck_analysis.dir/head_lines.cpp.o" "gcc" "src/analysis/CMakeFiles/waveck_analysis.dir/head_lines.cpp.o.d"
+  "/root/repo/src/analysis/learning.cpp" "src/analysis/CMakeFiles/waveck_analysis.dir/learning.cpp.o" "gcc" "src/analysis/CMakeFiles/waveck_analysis.dir/learning.cpp.o.d"
+  "/root/repo/src/analysis/scoap.cpp" "src/analysis/CMakeFiles/waveck_analysis.dir/scoap.cpp.o" "gcc" "src/analysis/CMakeFiles/waveck_analysis.dir/scoap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/waveck_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/waveck_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_analysis.dir/carriers.cpp.o"
+  "CMakeFiles/waveck_analysis.dir/carriers.cpp.o.d"
+  "CMakeFiles/waveck_analysis.dir/delay_correlation.cpp.o"
+  "CMakeFiles/waveck_analysis.dir/delay_correlation.cpp.o.d"
+  "CMakeFiles/waveck_analysis.dir/head_lines.cpp.o"
+  "CMakeFiles/waveck_analysis.dir/head_lines.cpp.o.d"
+  "CMakeFiles/waveck_analysis.dir/learning.cpp.o"
+  "CMakeFiles/waveck_analysis.dir/learning.cpp.o.d"
+  "CMakeFiles/waveck_analysis.dir/scoap.cpp.o"
+  "CMakeFiles/waveck_analysis.dir/scoap.cpp.o.d"
+  "libwaveck_analysis.a"
+  "libwaveck_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

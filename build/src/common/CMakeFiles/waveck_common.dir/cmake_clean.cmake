@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_common.dir/time.cpp.o"
+  "CMakeFiles/waveck_common.dir/time.cpp.o.d"
+  "libwaveck_common.a"
+  "libwaveck_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

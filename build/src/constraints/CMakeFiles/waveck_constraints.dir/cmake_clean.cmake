@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_constraints.dir/constraint_system.cpp.o"
+  "CMakeFiles/waveck_constraints.dir/constraint_system.cpp.o.d"
+  "CMakeFiles/waveck_constraints.dir/projection.cpp.o"
+  "CMakeFiles/waveck_constraints.dir/projection.cpp.o.d"
+  "libwaveck_constraints.a"
+  "libwaveck_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

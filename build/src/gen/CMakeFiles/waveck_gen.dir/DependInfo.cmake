@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/adders.cpp" "src/gen/CMakeFiles/waveck_gen.dir/adders.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/adders.cpp.o.d"
+  "/root/repo/src/gen/arith_family.cpp" "src/gen/CMakeFiles/waveck_gen.dir/arith_family.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/arith_family.cpp.o.d"
+  "/root/repo/src/gen/classic.cpp" "src/gen/CMakeFiles/waveck_gen.dir/classic.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/classic.cpp.o.d"
+  "/root/repo/src/gen/datapath.cpp" "src/gen/CMakeFiles/waveck_gen.dir/datapath.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/datapath.cpp.o.d"
+  "/root/repo/src/gen/falsepath.cpp" "src/gen/CMakeFiles/waveck_gen.dir/falsepath.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/falsepath.cpp.o.d"
+  "/root/repo/src/gen/iscas_suite.cpp" "src/gen/CMakeFiles/waveck_gen.dir/iscas_suite.cpp.o" "gcc" "src/gen/CMakeFiles/waveck_gen.dir/iscas_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

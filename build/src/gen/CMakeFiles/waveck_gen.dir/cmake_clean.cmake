@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_gen.dir/adders.cpp.o"
+  "CMakeFiles/waveck_gen.dir/adders.cpp.o.d"
+  "CMakeFiles/waveck_gen.dir/arith_family.cpp.o"
+  "CMakeFiles/waveck_gen.dir/arith_family.cpp.o.d"
+  "CMakeFiles/waveck_gen.dir/classic.cpp.o"
+  "CMakeFiles/waveck_gen.dir/classic.cpp.o.d"
+  "CMakeFiles/waveck_gen.dir/datapath.cpp.o"
+  "CMakeFiles/waveck_gen.dir/datapath.cpp.o.d"
+  "CMakeFiles/waveck_gen.dir/falsepath.cpp.o"
+  "CMakeFiles/waveck_gen.dir/falsepath.cpp.o.d"
+  "CMakeFiles/waveck_gen.dir/iscas_suite.cpp.o"
+  "CMakeFiles/waveck_gen.dir/iscas_suite.cpp.o.d"
+  "libwaveck_gen.a"
+  "libwaveck_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/delay_annotation.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/delay_annotation.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/delay_annotation.cpp.o.d"
+  "/root/repo/src/netlist/topo_delay.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/topo_delay.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/topo_delay.cpp.o.d"
+  "/root/repo/src/netlist/transforms.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/transforms.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/transforms.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/netlist/CMakeFiles/waveck_netlist.dir/verilog_io.cpp.o" "gcc" "src/netlist/CMakeFiles/waveck_netlist.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/waveck_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/waveck_netlist.dir/delay_annotation.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/delay_annotation.cpp.o.d"
+  "CMakeFiles/waveck_netlist.dir/topo_delay.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/topo_delay.cpp.o.d"
+  "CMakeFiles/waveck_netlist.dir/transforms.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/transforms.cpp.o.d"
+  "CMakeFiles/waveck_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/waveck_netlist.dir/verilog_io.cpp.o.d"
+  "libwaveck_netlist.a"
+  "libwaveck_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/floating_sim.cpp" "src/sim/CMakeFiles/waveck_sim.dir/floating_sim.cpp.o" "gcc" "src/sim/CMakeFiles/waveck_sim.dir/floating_sim.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/waveck_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/waveck_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/transition_sim.cpp" "src/sim/CMakeFiles/waveck_sim.dir/transition_sim.cpp.o" "gcc" "src/sim/CMakeFiles/waveck_sim.dir/transition_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/waveck_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

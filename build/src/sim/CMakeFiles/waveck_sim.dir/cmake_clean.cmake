@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_sim.dir/floating_sim.cpp.o"
+  "CMakeFiles/waveck_sim.dir/floating_sim.cpp.o.d"
+  "CMakeFiles/waveck_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/waveck_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/waveck_sim.dir/transition_sim.cpp.o"
+  "CMakeFiles/waveck_sim.dir/transition_sim.cpp.o.d"
+  "libwaveck_sim.a"
+  "libwaveck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/path_enum.cpp" "src/sta/CMakeFiles/waveck_sta.dir/path_enum.cpp.o" "gcc" "src/sta/CMakeFiles/waveck_sta.dir/path_enum.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/waveck_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/waveck_sta.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/waveck_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/waveck_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_sta.dir/path_enum.cpp.o"
+  "CMakeFiles/waveck_sta.dir/path_enum.cpp.o.d"
+  "CMakeFiles/waveck_sta.dir/sta.cpp.o"
+  "CMakeFiles/waveck_sta.dir/sta.cpp.o.d"
+  "libwaveck_sta.a"
+  "libwaveck_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

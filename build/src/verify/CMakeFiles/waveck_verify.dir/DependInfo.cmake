@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/case_analysis.cpp" "src/verify/CMakeFiles/waveck_verify.dir/case_analysis.cpp.o" "gcc" "src/verify/CMakeFiles/waveck_verify.dir/case_analysis.cpp.o.d"
+  "/root/repo/src/verify/pessimism.cpp" "src/verify/CMakeFiles/waveck_verify.dir/pessimism.cpp.o" "gcc" "src/verify/CMakeFiles/waveck_verify.dir/pessimism.cpp.o.d"
+  "/root/repo/src/verify/report_io.cpp" "src/verify/CMakeFiles/waveck_verify.dir/report_io.cpp.o" "gcc" "src/verify/CMakeFiles/waveck_verify.dir/report_io.cpp.o.d"
+  "/root/repo/src/verify/stem_correlation.cpp" "src/verify/CMakeFiles/waveck_verify.dir/stem_correlation.cpp.o" "gcc" "src/verify/CMakeFiles/waveck_verify.dir/stem_correlation.cpp.o.d"
+  "/root/repo/src/verify/verifier.cpp" "src/verify/CMakeFiles/waveck_verify.dir/verifier.cpp.o" "gcc" "src/verify/CMakeFiles/waveck_verify.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waveck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/waveck_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/waveck_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/waveck_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/waveck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/waveck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_verify.dir/case_analysis.cpp.o"
+  "CMakeFiles/waveck_verify.dir/case_analysis.cpp.o.d"
+  "CMakeFiles/waveck_verify.dir/pessimism.cpp.o"
+  "CMakeFiles/waveck_verify.dir/pessimism.cpp.o.d"
+  "CMakeFiles/waveck_verify.dir/report_io.cpp.o"
+  "CMakeFiles/waveck_verify.dir/report_io.cpp.o.d"
+  "CMakeFiles/waveck_verify.dir/stem_correlation.cpp.o"
+  "CMakeFiles/waveck_verify.dir/stem_correlation.cpp.o.d"
+  "CMakeFiles/waveck_verify.dir/verifier.cpp.o"
+  "CMakeFiles/waveck_verify.dir/verifier.cpp.o.d"
+  "libwaveck_verify.a"
+  "libwaveck_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_waveform.dir/abstract_waveform.cpp.o"
+  "CMakeFiles/waveck_waveform.dir/abstract_waveform.cpp.o.d"
+  "libwaveck_waveform.a"
+  "libwaveck_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

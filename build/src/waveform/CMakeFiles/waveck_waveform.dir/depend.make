@@ -1,0 +1,2 @@
+# Empty dependencies file for waveck_waveform.
+# This may be replaced when dependencies are built.

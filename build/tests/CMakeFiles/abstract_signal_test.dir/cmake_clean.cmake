@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_signal_test.dir/abstract_signal_test.cpp.o"
+  "CMakeFiles/abstract_signal_test.dir/abstract_signal_test.cpp.o.d"
+  "abstract_signal_test"
+  "abstract_signal_test.pdb"
+  "abstract_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_family_test.dir/arith_family_test.cpp.o"
+  "CMakeFiles/arith_family_test.dir/arith_family_test.cpp.o.d"
+  "arith_family_test"
+  "arith_family_test.pdb"
+  "arith_family_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carriers_test.dir/carriers_test.cpp.o"
+  "CMakeFiles/carriers_test.dir/carriers_test.cpp.o.d"
+  "carriers_test"
+  "carriers_test.pdb"
+  "carriers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carriers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_analysis_test.dir/case_analysis_test.cpp.o"
+  "CMakeFiles/case_analysis_test.dir/case_analysis_test.cpp.o.d"
+  "case_analysis_test"
+  "case_analysis_test.pdb"
+  "case_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_system_test.dir/constraint_system_test.cpp.o"
+  "CMakeFiles/constraint_system_test.dir/constraint_system_test.cpp.o.d"
+  "constraint_system_test"
+  "constraint_system_test.pdb"
+  "constraint_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

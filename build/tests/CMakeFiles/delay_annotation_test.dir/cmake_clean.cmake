@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_annotation_test.dir/delay_annotation_test.cpp.o"
+  "CMakeFiles/delay_annotation_test.dir/delay_annotation_test.cpp.o.d"
+  "delay_annotation_test"
+  "delay_annotation_test.pdb"
+  "delay_annotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_annotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

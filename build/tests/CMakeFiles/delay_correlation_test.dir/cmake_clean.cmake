@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_correlation_test.dir/delay_correlation_test.cpp.o"
+  "CMakeFiles/delay_correlation_test.dir/delay_correlation_test.cpp.o.d"
+  "delay_correlation_test"
+  "delay_correlation_test.pdb"
+  "delay_correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exactness_property_test.dir/exactness_property_test.cpp.o"
+  "CMakeFiles/exactness_property_test.dir/exactness_property_test.cpp.o.d"
+  "exactness_property_test"
+  "exactness_property_test.pdb"
+  "exactness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exactness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falsepath_test.dir/falsepath_test.cpp.o"
+  "CMakeFiles/falsepath_test.dir/falsepath_test.cpp.o.d"
+  "falsepath_test"
+  "falsepath_test.pdb"
+  "falsepath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falsepath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floating_sim_test.dir/floating_sim_test.cpp.o"
+  "CMakeFiles/floating_sim_test.dir/floating_sim_test.cpp.o.d"
+  "floating_sim_test"
+  "floating_sim_test.pdb"
+  "floating_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floating_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

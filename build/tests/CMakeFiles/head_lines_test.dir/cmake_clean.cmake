@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_lines_test.dir/head_lines_test.cpp.o"
+  "CMakeFiles/head_lines_test.dir/head_lines_test.cpp.o.d"
+  "head_lines_test"
+  "head_lines_test.pdb"
+  "head_lines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_lines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pessimism_test.dir/pessimism_test.cpp.o"
+  "CMakeFiles/pessimism_test.dir/pessimism_test.cpp.o.d"
+  "pessimism_test"
+  "pessimism_test.pdb"
+  "pessimism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pessimism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

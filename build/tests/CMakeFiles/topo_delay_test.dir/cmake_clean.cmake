@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_delay_test.dir/topo_delay_test.cpp.o"
+  "CMakeFiles/topo_delay_test.dir/topo_delay_test.cpp.o.d"
+  "topo_delay_test"
+  "topo_delay_test.pdb"
+  "topo_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_sim_test.dir/transition_sim_test.cpp.o"
+  "CMakeFiles/transition_sim_test.dir/transition_sim_test.cpp.o.d"
+  "transition_sim_test"
+  "transition_sim_test.pdb"
+  "transition_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_modes_test.dir/verifier_modes_test.cpp.o"
+  "CMakeFiles/verifier_modes_test.dir/verifier_modes_test.cpp.o.d"
+  "verifier_modes_test"
+  "verifier_modes_test.pdb"
+  "verifier_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

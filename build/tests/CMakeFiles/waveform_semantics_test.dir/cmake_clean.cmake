@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_semantics_test.dir/waveform_semantics_test.cpp.o"
+  "CMakeFiles/waveform_semantics_test.dir/waveform_semantics_test.cpp.o.d"
+  "waveform_semantics_test"
+  "waveform_semantics_test.pdb"
+  "waveform_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveck_cli.dir/waveck_cli.cpp.o"
+  "CMakeFiles/waveck_cli.dir/waveck_cli.cpp.o.d"
+  "waveck"
+  "waveck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

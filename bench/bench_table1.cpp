@@ -13,6 +13,7 @@
 // which machinery closes each circuit and that vectors need few backtracks.
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "gen/iscas_suite.hpp"
 #include "harness.hpp"
@@ -22,12 +23,27 @@
 int main(int argc, char** argv) {
   using namespace waveck;
   using namespace waveck::bench;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_table1.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_table1 [--quick] [--json [FILE]]\n";
+      return 2;
+    }
+  }
 
   std::cout << "E3: Table 1 -- ISCAS'85-class suite, NOR implementation, "
                "delay 10/gate\n";
   std::cout << std::string(80, '=') << "\n";
   print_table1_header();
+  std::vector<Table1Row> rows;
 
   const auto suite = gen::table1_suite(quick);
   for (const auto& entry : suite) {
@@ -49,15 +65,21 @@ int main(int argc, char** argv) {
     auto row_above = row_from_suite(entry.name, top, exact.delay + 1, "",
                                     above);
     print_table1_row(row_above);
+    rows.push_back(row_above);
 
     // Row 2: delta_E (witness row).
     const auto at = v.check_circuit(exact.delay);
     auto row_at = row_from_suite(entry.name, top, exact.delay, kind, at);
     print_table1_row(row_at);
+    rows.push_back(row_at);
   }
 
   std::cout << "\nLegend: P possible violation, N no violation, V vector "
                "found,\n        A abandoned (backtrack budget), - not "
                "needed, E exact delay, U upper bound\n";
+  if (json) {
+    write_table1_json(json_path, rows);
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -3,12 +3,15 @@
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "verify/verifier.hpp"
 
 namespace waveck::bench {
@@ -42,6 +45,8 @@ struct Table1Row {
   std::string backtracks;  // number or "-" / "A"
   std::string result;      // V / N / A
   double seconds = 0.0;
+  std::size_t backtracks_n = 0;  // numeric form for JSON output
+  StageSeconds stage_seconds;
 };
 
 inline void print_table1_header() {
@@ -74,6 +79,8 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
   r.after_gitd = rep.after_gitd;
   r.after_stem = rep.after_stem;
   r.seconds = rep.seconds;
+  r.backtracks_n = rep.backtracks;
+  r.stage_seconds = rep.stage_seconds;
   switch (rep.conclusion) {
     case CheckConclusion::kViolation:
       r.backtracks = std::to_string(rep.backtracks);
@@ -93,6 +100,39 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
       break;
   }
   return r;
+}
+
+/// Writes the collected rows as one JSON document (BENCH_table1.json): each
+/// row carries the Table 1 columns plus the per-stage wall-clock breakdown.
+inline void write_table1_json(const std::string& path,
+                              const std::vector<Table1Row>& rows) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  const auto esc = [](const std::string& s) {
+    return telemetry::json_escape(s);
+  };
+  os << "{\"bench\":\"table1\",\"rows\":[";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"circuit\":\"" << esc(r.circuit) << "\""
+       << ",\"top\":\"" << esc(r.top.str()) << "\""
+       << ",\"delta\":\"" << esc(r.delta.str()) << "\""
+       << ",\"delta_kind\":\"" << esc(r.delta_kind) << "\""
+       << ",\"before_gitd\":\"" << to_string(r.before_gitd) << "\""
+       << ",\"after_gitd\":\"" << to_string(r.after_gitd) << "\""
+       << ",\"after_stem\":\"" << to_string(r.after_stem) << "\""
+       << ",\"backtracks\":" << r.backtracks_n
+       << ",\"result\":\"" << esc(r.result) << "\""
+       << ",\"seconds\":" << r.seconds
+       << ",\"stage_seconds\":{"
+       << "\"narrowing\":" << r.stage_seconds.narrowing
+       << ",\"gitd\":" << r.stage_seconds.gitd
+       << ",\"stem\":" << r.stage_seconds.stem
+       << ",\"case_analysis\":" << r.stage_seconds.case_analysis << "}}";
+  }
+  os << "]}\n";
 }
 
 }  // namespace waveck::bench

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace waveck {
 namespace {
 
@@ -84,6 +86,10 @@ Window delay_window(const ConstraintSystem& cs, const Gate& g) {
 
 DelayCorrelationStats apply_delay_correlation(ConstraintSystem& cs,
                                               Circuit& c) {
+  auto& reg = telemetry::Registry::global();
+  auto& ctr_rounds = reg.counter("delay_corr.rounds");
+  auto& ctr_gates = reg.counter("delay_corr.gates_narrowed");
+
   DelayCorrelationStats stats;
   if (cs.inconsistent()) {
     stats.proved_no_violation = true;
@@ -155,7 +161,13 @@ DelayCorrelationStats apply_delay_correlation(ConstraintSystem& cs,
       return stats;
     }
     if (changed == 0) break;
+    ctr_rounds.inc();
     stats.gates_narrowed += changed;
+    ctr_gates.add(changed);
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("delay_corr_round",
+                      {{"round", stats.rounds}, {"gates_narrowed", changed}});
+    }
     if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
       stats.proved_no_violation = true;
       return stats;

@@ -1,0 +1,150 @@
+#include "common/telemetry.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace waveck::telemetry {
+
+namespace detail {
+TraceSink* g_trace_sink = nullptr;
+}  // namespace detail
+
+void set_trace_sink(TraceSink* sink) { detail::g_trace_sink = sink; }
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+template <class Table>
+auto& lookup(Table& table, std::string_view name) {
+  const auto it = table.find(name);
+  if (it != table.end()) return it->second;
+  return table.emplace(std::string(name), typename Table::mapped_type{})
+      .first->second;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return lookup(counters_, name);
+}
+Gauge& Registry::gauge(std::string_view name) { return lookup(gauges_, name); }
+Histogram& Registry::histogram(std::string_view name) {
+  return lookup(histograms_, name);
+}
+StageTimer& Registry::timer(std::string_view name) {
+  return lookup(timers_, name);
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << c.value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << g.value();
+    first = false;
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"calls\":" << t.calls() << ",\"seconds\":"
+       << fmt_double(t.seconds()) << "}";
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      os << (i ? "," : "") << h.bucket(i);
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, t] : timers_) t.reset();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os)
+    : os_(&os), start_(std::chrono::steady_clock::now()) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(path), os_(&file_), start_(std::chrono::steady_clock::now()) {
+  if (!file_) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+}
+
+void JsonlTraceSink::event(std::string_view name,
+                           std::span<const TraceField> fields) {
+  const auto t = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  std::ostream& os = *os_;
+  os << "{\"ev\":\"" << json_escape(name) << "\",\"seq\":" << ++seq_
+     << ",\"t\":" << t;
+  for (const TraceField& f : fields) {
+    os << ",\"" << json_escape(f.key) << "\":";
+    switch (f.kind) {
+      case TraceField::Kind::kInt: os << f.i; break;
+      case TraceField::Kind::kDouble: os << fmt_double(f.d); break;
+      case TraceField::Kind::kBool: os << (f.b ? "true" : "false"); break;
+      case TraceField::Kind::kString:
+        os << '"' << json_escape(f.s) << '"';
+        break;
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace waveck::telemetry

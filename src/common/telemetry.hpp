@@ -1,0 +1,261 @@
+// Engine-wide telemetry: a process-global metrics registry (monotonic
+// counters, gauges, scoped ns-resolution stage timers, small fixed-bucket
+// histograms) plus a pluggable TraceSink streaming structured JSONL events.
+//
+// Design constraints (see doc/OBSERVABILITY.md):
+//  * Near-zero cost when no trace sink is installed: every emission site
+//    guards on `trace_enabled()` (a single pointer load + branch) before
+//    constructing any event field, so the disabled path neither allocates
+//    nor formats.
+//  * Metric updates are plain integer arithmetic on storage cached by the
+//    hot objects (ConstraintSystem caches references at construction);
+//    registry map lookups happen once per object/stage, never per event.
+//  * Single-threaded by design, like the rest of the engine; a future
+//    parallel-checks PR shards one Registry per worker and merges.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace waveck::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc() { ++v_; }
+  void add(std::uint64_t n) { v_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// A value that can move both ways (queue depth, search depth, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_ = v; }
+  void add(std::int64_t d) { v_ += d; }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Fixed-bucket power-of-two histogram for small non-negative magnitudes
+/// (narrowing-delta sizes, queue depths, conflict depths). Bucket 0 holds
+/// exact zeros; bucket i (1 <= i <= kBuckets-2) holds [2^(i-1), 2^i); the
+/// last bucket overflows. No allocation, O(1) observe.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 18;
+
+  void observe(std::uint64_t v) {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i];
+  }
+  /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower_bound(
+      std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const auto w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kBuckets - 1 ? w : kBuckets - 1;
+  }
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Accumulating stage timer: number of runs and total wall time in ns.
+class StageTimer {
+ public:
+  void add_ns(std::uint64_t ns) {
+    ++calls_;
+    total_ns_ += ns;
+  }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+  void reset() {
+    calls_ = 0;
+    total_ns_ = 0;
+  }
+
+ private:
+  std::uint64_t calls_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+/// Steady-clock stopwatch with ns resolution.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(ns()) * 1e-9;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII: adds the scope's wall time to a StageTimer on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(StageTimer& t) : timer_(t) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { timer_.add_ns(watch_.ns()); }
+
+ private:
+  StageTimer& timer_;
+  StopWatch watch_;
+};
+
+/// Process-wide metrics registry. Metric objects are created on first use
+/// and live for the process; returned references stay valid (node-based
+/// storage). Names are dotted paths ("engine.narrowings", "stage.gitd").
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+  [[nodiscard]] StageTimer& timer(std::string_view name);
+
+  /// Deterministic (name-sorted) JSON snapshot of every metric.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes every metric value; registrations (and references) survive.
+  void reset();
+
+ private:
+  template <class M>
+  using Table = std::map<std::string, M, std::less<>>;
+
+  Table<Counter> counters_;
+  Table<Gauge> gauges_;
+  Table<Histogram> histograms_;
+  Table<StageTimer> timers_;
+};
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// One key/value pair of a trace event. Cheap to build by value at the call
+/// site; string payloads are borrowed (must outlive the `event` call only).
+struct TraceField {
+  enum class Kind : std::uint8_t { kInt, kDouble, kBool, kString };
+
+  const char* key;
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string_view s;
+
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  constexpr TraceField(const char* k, T v)
+      : key(k), kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  constexpr TraceField(const char* k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr TraceField(const char* k, bool v)
+      : key(k), kind(Kind::kBool), b(v) {}
+  constexpr TraceField(const char* k, std::string_view v)
+      : key(k), kind(Kind::kString), s(v) {}
+  constexpr TraceField(const char* k, const char* v)
+      : key(k), kind(Kind::kString), s(v) {}
+};
+
+/// Receives structured events. Implementations must tolerate any event name
+/// and field set (the schema is producer-defined; see doc/OBSERVABILITY.md).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(std::string_view name,
+                     std::span<const TraceField> fields) = 0;
+};
+
+namespace detail {
+extern TraceSink* g_trace_sink;
+}  // namespace detail
+
+[[nodiscard]] inline TraceSink* trace_sink() { return detail::g_trace_sink; }
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_sink != nullptr;
+}
+/// Installs (or, with nullptr, removes) the process trace sink. Not owned.
+void set_trace_sink(TraceSink* sink);
+
+/// Emits an event iff a sink is installed. Call sites that compute field
+/// values (names, deltas) should guard on `trace_enabled()` themselves so
+/// the disabled path pays only the branch.
+inline void emit(std::string_view name,
+                 std::initializer_list<TraceField> fields) {
+  if (TraceSink* sink = trace_sink()) {
+    sink->event(name, {fields.begin(), fields.size()});
+  }
+}
+
+/// Streams events as JSON Lines: one object per event, first keys always
+/// "ev" (event name), "seq" (1-based sequence number) and "t" (ns since the
+/// sink was created), then the producer fields in order.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Borrows `os`; the stream must outlive the sink.
+  explicit JsonlTraceSink(std::ostream& os);
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlTraceSink(const std::string& path);
+
+  void event(std::string_view name,
+             std::span<const TraceField> fields) override;
+
+  [[nodiscard]] std::uint64_t events_written() const { return seq_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// JSON string-body escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace waveck::telemetry

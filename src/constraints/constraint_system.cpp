@@ -10,7 +10,19 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
     : circuit_(circuit),
       domains_(circuit.num_nets(), AbstractSignal::top()),
       in_queue_(circuit.num_gates(), false),
-      save_epoch_(circuit.num_nets(), 0) {}
+      save_epoch_(circuit.num_nets(), 0),
+      ctr_fixpoints_(telemetry::Registry::global().counter("engine.fixpoints")),
+      ctr_applications_(
+          telemetry::Registry::global().counter("engine.applications")),
+      ctr_narrowings_(
+          telemetry::Registry::global().counter("engine.narrowings")),
+      ctr_conflicts_(telemetry::Registry::global().counter("engine.conflicts")),
+      h_queue_depth_(
+          telemetry::Registry::global().histogram("engine.queue_depth")),
+      h_fixpoint_narrowings_(telemetry::Registry::global().histogram(
+          "engine.fixpoint_narrowings")),
+      h_narrowing_magnitude_(telemetry::Registry::global().histogram(
+          "engine.narrowing_magnitude")) {}
 
 void ConstraintSystem::save_if_needed(NetId n) {
   auto& epoch = save_epoch_[n.index()];
@@ -28,9 +40,27 @@ void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
   save_if_needed(n);
   const bool was_single = dom.single_class();
   const bool was_bottom = dom.is_bottom();
+  const Time old_latest = dom.latest();
   dom = nd;
   ++narrowings_;
-  if (nd.is_bottom() && !was_bottom) ++bottom_count_;
+  if (nd.is_bottom() && !was_bottom) {
+    ++bottom_count_;
+    ctr_conflicts_.inc();
+  }
+
+  // Magnitude of the tightening of the latest-transition bound; an infinite
+  // jump (top -> finite, or a class emptying) lands in the overflow bucket.
+  const Time new_latest = nd.latest();
+  if (old_latest == new_latest) {
+    h_narrowing_magnitude_.observe(0);
+  } else if (old_latest.is_finite() && new_latest.is_finite()) {
+    h_narrowing_magnitude_.observe(
+        static_cast<std::uint64_t>(old_latest.value() - new_latest.value()));
+  } else {
+    h_narrowing_magnitude_.observe(
+        telemetry::Histogram::bucket_lower_bound(
+            telemetry::Histogram::kBuckets - 1));
+  }
 
   schedule_net(n);
 
@@ -88,11 +118,15 @@ void ConstraintSystem::apply_gate(GateId gid) {
 }
 
 ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
+  const std::uint64_t apps0 = applications_;
+  const std::uint64_t nar0 = narrowings_;
+  const std::size_t depth0 = queue_.size();
   // Tripwire against unforeseen non-termination (Theorem 1 guarantees the
   // fixpoint is finite; this bound is far above any observed run).
   const std::uint64_t budget =
       applications_ + 1000ull * std::max<std::size_t>(circuit_.num_gates(),
                                                       10000);
+  Status status = Status::kPossibleViolation;
   while (!queue_.empty()) {
     const GateId g = queue_.front();
     queue_.pop_front();
@@ -100,13 +134,28 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
     apply_gate(g);
     if (inconsistent()) {
       clear_queue();
-      return Status::kNoViolation;
+      status = Status::kNoViolation;
+      break;
     }
     if (applications_ > budget) {
       throw std::logic_error("constraint propagation exceeded budget");
     }
   }
-  return Status::kPossibleViolation;
+
+  ctr_fixpoints_.inc();
+  ctr_applications_.add(applications_ - apps0);
+  ctr_narrowings_.add(narrowings_ - nar0);
+  h_queue_depth_.observe(depth0);
+  h_fixpoint_narrowings_.observe(narrowings_ - nar0);
+  if (telemetry::trace_enabled()) {
+    telemetry::emit(
+        "propagate",
+        {{"queue", depth0},
+         {"applications", applications_ - apps0},
+         {"revisions", narrowings_ - nar0},
+         {"status", status == Status::kNoViolation ? "N" : "P"}});
+  }
+  return status;
 }
 
 std::vector<NetId> ConstraintSystem::changed_since(Mark mark) const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/telemetry.hpp"
 #include "netlist/circuit.hpp"
 #include "waveform/abstract_waveform.hpp"
 
@@ -135,6 +136,16 @@ class ConstraintSystem {
 
   std::uint64_t applications_ = 0;
   std::uint64_t narrowings_ = 0;
+
+  // Registry handles cached at construction: metric updates in the hot
+  // paths are plain integer arithmetic, never name lookups.
+  telemetry::Counter& ctr_fixpoints_;
+  telemetry::Counter& ctr_applications_;
+  telemetry::Counter& ctr_narrowings_;
+  telemetry::Counter& ctr_conflicts_;
+  telemetry::Histogram& h_queue_depth_;
+  telemetry::Histogram& h_fixpoint_narrowings_;
+  telemetry::Histogram& h_narrowing_magnitude_;
 };
 
 }  // namespace waveck

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "analysis/head_lines.hpp"
+#include "common/telemetry.hpp"
 #include "sim/floating_sim.hpp"
 
 namespace waveck {
@@ -466,6 +467,14 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
                                       const TimingCheck& check,
                                       const Scoap* scoap,
                                       const CaseAnalysisOptions& opt) {
+  auto& reg = telemetry::Registry::global();
+  auto& ctr_decisions = reg.counter("search.decisions");
+  auto& ctr_backtracks = reg.counter("search.backtracks");
+  auto& ctr_conflicts = reg.counter("search.conflicts");
+  auto& ctr_spurious = reg.counter("search.spurious_vectors");
+  auto& h_conflict_depth = reg.histogram("search.conflict_depth");
+  auto& g_depth = reg.gauge("search.depth");
+
   CaseAnalysisOutcome out;
   const auto entry = cs.push_state();
   const FanGuide guide(cs, check, scoap, opt);
@@ -492,9 +501,18 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         return out;
       }
       consistent = false;  // spurious: treat as a conflict and backtrack
+      ctr_spurious.inc();
+      if (telemetry::trace_enabled()) {
+        telemetry::emit("spurious_vector", {{"depth", stack.size()}});
+      }
     }
 
     if (!consistent) {
+      ctr_conflicts.inc();
+      h_conflict_depth.observe(stack.size());
+      if (telemetry::trace_enabled()) {
+        telemetry::emit("conflict", {{"depth", stack.size()}});
+      }
       // Backtrack to the deepest unflipped decision and try its other class.
       bool resumed = false;
       while (!stack.empty()) {
@@ -508,6 +526,14 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         d.cls = !d.cls;
         d.flipped = true;
         ++out.backtracks;
+        ctr_backtracks.inc();
+        g_depth.set(static_cast<std::int64_t>(stack.size()));
+        if (telemetry::trace_enabled()) {
+          telemetry::emit("backtrack",
+                          {{"net", cs.circuit().net(d.net).name},
+                           {"cls", d.cls},
+                           {"depth", stack.size()}});
+        }
         if (out.backtracks > opt.max_backtracks) {
           cs.pop_to(entry);
           out.result = CaseResult::kAbandoned;
@@ -519,6 +545,8 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
           resumed = true;
           break;
         }
+        ctr_conflicts.inc();
+        h_conflict_depth.observe(stack.size());
       }
       if (resumed) continue;
       if (stack.empty()) {
@@ -540,6 +568,13 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
     Decision d{pick->first, pick->second, cs.push_state(), false};
     stack.push_back(d);
     ++out.decisions;
+    ctr_decisions.inc();
+    g_depth.set(static_cast<std::int64_t>(stack.size()));
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("decision", {{"net", cs.circuit().net(d.net).name},
+                                   {"cls", d.cls},
+                                   {"depth", stack.size()}});
+    }
     cs.restrict_domain(d.net, AbstractSignal::class_only(d.cls));
     consistent = propagate(cs, check, opt.dominators_in_search);
   }

@@ -4,30 +4,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/telemetry.hpp"
+
 namespace waveck {
 namespace {
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+std::string escape(const std::string& s) { return telemetry::json_escape(s); }
 
 /// Minimal JSON writer: objects and arrays via explicit calls.
 class Json {
@@ -79,6 +61,13 @@ class Json {
     comma_ = true;
     return *this;
   }
+  /// Splices a pre-serialised JSON value (e.g. a registry snapshot).
+  Json& raw_value(const std::string& s) {
+    sep();
+    os_ << s;
+    comma_ = true;
+    return *this;
+  }
   Json& begin_array() {
     sep();
     os_ << "[";
@@ -107,6 +96,15 @@ class Json {
   bool comma_ = false;
 };
 
+void stage_seconds_body(Json& j, const StageSeconds& s) {
+  j.key("stage_seconds").begin();
+  j.key("narrowing").value(s.narrowing);
+  j.key("gitd").value(s.gitd);
+  j.key("stem").value(s.stem);
+  j.key("case_analysis").value(s.case_analysis);
+  j.end();
+}
+
 void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
   j.key("output").value(c.net(rep.check.output).name);
   j.key("delta").value(rep.check.delta);
@@ -121,6 +119,7 @@ void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
   j.key("gitd_rounds").value(rep.gitd_rounds);
   j.key("stems_processed").value(rep.stems_processed);
   j.key("seconds").value(rep.seconds);
+  stage_seconds_body(j, rep.stage_seconds);
   j.key("vector");
   if (rep.vector) {
     j.value(format_vector(*rep.vector));
@@ -136,6 +135,7 @@ std::string to_json(const Circuit& c, const CheckReport& rep) {
   j.begin();
   j.key("circuit").value(c.name());
   check_body(j, c, rep);
+  j.key("metrics").raw_value(telemetry::Registry::global().to_json());
   j.end();
   return j.str();
 }
@@ -153,6 +153,7 @@ std::string to_json(const Circuit& c, const SuiteReport& rep) {
   j.end();
   j.key("backtracks").value(rep.backtracks);
   j.key("seconds").value(rep.seconds);
+  stage_seconds_body(j, rep.stage_seconds);
   j.key("vector");
   if (rep.vector) {
     j.value(format_vector(*rep.vector));
@@ -172,6 +173,7 @@ std::string to_json(const Circuit& c, const SuiteReport& rep) {
     j.end();
   }
   j.end_array();
+  j.key("metrics").raw_value(telemetry::Registry::global().to_json());
   j.end();
   return j.str();
 }
@@ -192,6 +194,7 @@ std::string to_json(const Circuit& c,
   } else {
     j.null();
   }
+  j.key("metrics").raw_value(telemetry::Registry::global().to_json());
   j.end();
   return j.str();
 }

@@ -1,15 +1,35 @@
 #include "verify/stem_correlation.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace waveck {
+
+namespace {
+
+void trace_stem(const ConstraintSystem& cs, NetId stem,
+                std::string_view outcome, std::size_t narrowed) {
+  if (!telemetry::trace_enabled()) return;
+  telemetry::emit("stem", {{"net", cs.circuit().net(stem).name},
+                           {"outcome", outcome},
+                           {"narrowed", narrowed}});
+}
+
+}  // namespace
 
 StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
                                             const TimingCheck& check,
                                             std::span<const NetId> stems,
                                             std::size_t max_stems) {
+  auto& reg = telemetry::Registry::global();
+  auto& ctr_stems = reg.counter("stem.stems_processed");
+  auto& ctr_one_sided = reg.counter("stem.one_sided");
+  auto& ctr_narrowed = reg.counter("stem.domains_narrowed");
+
   StemCorrelationStats stats;
   if (cs.inconsistent()) {
     stats.proved_no_violation = true;
@@ -60,15 +80,19 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
     }
 
     ++stats.stems_processed;
+    ctr_stems.inc();
     if (!ok0 && !ok1) {
       // Neither class admits a solution: the whole check is inconsistent.
       cs.restrict_domain(stem, AbstractSignal::bottom());
       stats.proved_no_violation = true;
+      trace_stem(cs, stem, "refuted", 0);
       return stats;
     }
     if (ok0 != ok1) {
       // Necessary assignment: keep the surviving class and its propagation.
       ++stats.one_sided;
+      ctr_one_sided.inc();
+      trace_stem(cs, stem, "one_sided", 0);
       cs.restrict_domain(stem, AbstractSignal::class_only(ok1));
       if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
         stats.proved_no_violation = true;
@@ -79,12 +103,18 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
     // Both classes alive: D_X := D_X0 u D_X1 for nets narrowed in both
     // branches (a net untouched by a branch keeps its pre-split value there,
     // so only the intersection of the changed sets can narrow).
+    std::size_t narrowed_here = 0;
     for (const auto& [net, v0] : branch0) {
       const auto it = branch1.find(net);
       if (it == branch1.end()) continue;
       const AbstractSignal united = v0.unite(it->second);
-      if (cs.restrict_domain(net, united)) ++stats.domains_narrowed;
+      if (cs.restrict_domain(net, united)) {
+        ++stats.domains_narrowed;
+        ++narrowed_here;
+      }
     }
+    ctr_narrowed.add(narrowed_here);
+    trace_stem(cs, stem, "both", narrowed_here);
     if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
       stats.proved_no_violation = true;
       return stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/delay_correlation.hpp"
+#include "common/telemetry.hpp"
 #include "netlist/topo_delay.hpp"
 #include "sim/floating_sim.hpp"
 #include "sim/transition_sim.hpp"
@@ -106,13 +107,67 @@ CheckReport Verifier::check_transition(NetId s, Time delta,
 CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
                                 NetId s, Time delta,
                                 const std::vector<AbstractSignal>* input_override) {
-  const auto t0 = Clock::now();
+  // The tallies of the report are registry snapshots: the stages below bump
+  // the process-wide counters and this wrapper reads back the deltas, so
+  // CheckReport, the metrics snapshot and the trace stream always agree.
+  auto& reg = telemetry::Registry::global();
+  auto& ctr_backtracks = reg.counter("search.backtracks");
+  auto& ctr_decisions = reg.counter("search.decisions");
+  auto& ctr_gitd_rounds = reg.counter("gitd.rounds");
+  auto& ctr_stems = reg.counter("stem.stems_processed");
+  auto& ctr_corr = reg.counter("delay_corr.gates_narrowed");
+  const std::uint64_t backtracks0 = ctr_backtracks.value();
+  const std::uint64_t decisions0 = ctr_decisions.value();
+  const std::uint64_t gitd0 = ctr_gitd_rounds.value();
+  const std::uint64_t stems0 = ctr_stems.value();
+  const std::uint64_t corr0 = ctr_corr.value();
+
+  reg.counter("verify.checks").inc();
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("check_begin", {{"output", c.net(s).name},
+                                    {"delta", delta.value()}});
+  }
+
+  const telemetry::StopWatch watch;
+  CheckReport rep = run_check_stages(c, mutable_c, s, delta, input_override);
+  rep.seconds = watch.seconds();
+  rep.backtracks = ctr_backtracks.value() - backtracks0;
+  rep.decisions = ctr_decisions.value() - decisions0;
+  rep.gitd_rounds = ctr_gitd_rounds.value() - gitd0;
+  rep.stems_processed = ctr_stems.value() - stems0;
+  rep.correlated_delay_narrowings = ctr_corr.value() - corr0;
+
+  reg.counter(std::string("verify.conclusion.") +
+              to_string(rep.conclusion)).inc();
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("check_end", {{"output", c.net(s).name},
+                                  {"conclusion", to_string(rep.conclusion)},
+                                  {"seconds", rep.seconds}});
+  }
+  return rep;
+}
+
+CheckReport Verifier::run_check_stages(
+    const Circuit& c, Circuit* mutable_c, NetId s, Time delta,
+    const std::vector<AbstractSignal>* input_override) {
+  auto& reg = telemetry::Registry::global();
   CheckReport rep;
   rep.check = TimingCheck{s, delta};
 
+  telemetry::StopWatch stage_watch;
+  const auto close_stage = [&](const char* timer, double& slot) {
+    const std::uint64_t ns = stage_watch.ns();
+    reg.timer(timer).add_ns(ns);
+    slot += static_cast<double>(ns) * 1e-9;
+    stage_watch = telemetry::StopWatch();
+  };
+
   ConstraintSystem cs(c);
   if (opt_.use_learning) {
-    cs.set_implications(&learning().table);
+    const LearningResult& lr = learning();  // lazily computed once
+    reg.timer("stage.learning").add_ns(stage_watch.ns());
+    stage_watch = telemetry::StopWatch();
+    cs.set_implications(&lr.table);
   }
 
   // Initial domains (Section 3.3): floating-mode inputs, the delta
@@ -134,38 +189,42 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
 
   // Stage 1: plain narrowing fixpoint.
   rep.before_gitd = status_of(cs.reach_fixpoint());
+  close_stage("stage.narrowing", rep.stage_seconds.narrowing);
   if (rep.before_gitd == StageStatus::kNoViolation) {
     rep.conclusion = CheckConclusion::kNoViolation;
-    rep.seconds = seconds_since(t0);
     return rep;
   }
 
   // Stage 1.5 (extension, reference [1]): correlated delay narrowing.
   if (mutable_c != nullptr) {
     const auto stats = apply_delay_correlation(cs, *mutable_c);
-    rep.correlated_delay_narrowings = stats.gates_narrowed;
+    close_stage("stage.delay_correlation", rep.stage_seconds.narrowing);
     if (stats.proved_no_violation) {
       rep.before_gitd = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
-      rep.seconds = seconds_since(t0);
       return rep;
     }
   }
 
   // Stage 2: global implications on dynamic timing dominators (Figure 4).
   if (opt_.use_dominators) {
+    auto& ctr_rounds = reg.counter("gitd.rounds");
     rep.after_gitd = StageStatus::kPossible;
     for (;;) {
-      ++rep.gitd_rounds;
-      if (apply_dominator_implications(cs, rep.check) == 0) break;
+      ctr_rounds.inc();
+      const std::size_t narrowed = apply_dominator_implications(cs, rep.check);
+      if (telemetry::trace_enabled()) {
+        telemetry::emit("gitd_round", {{"narrowed", narrowed}});
+      }
+      if (narrowed == 0) break;
       if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
         rep.after_gitd = StageStatus::kNoViolation;
         break;
       }
     }
+    close_stage("stage.gitd", rep.stage_seconds.gitd);
     if (rep.after_gitd == StageStatus::kNoViolation) {
       rep.conclusion = CheckConclusion::kNoViolation;
-      rep.seconds = seconds_since(t0);
       return rep;
     }
   }
@@ -175,8 +234,8 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
     const auto stats = apply_stem_correlation(cs, rep.check,
                                               reconvergent_stems(),
                                               opt_.max_stems);
-    rep.stems_processed = stats.stems_processed;
-    if (stats.proved_no_violation ||
+    const bool closed =
+        stats.proved_no_violation ||
         (opt_.use_dominators &&
          [&] {  // re-run the dominator loop on the correlated domains
            for (;;) {
@@ -186,10 +245,11 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
                  ConstraintSystem::Status::kNoViolation)
                return true;
            }
-         }())) {
+         }());
+    close_stage("stage.stem", rep.stage_seconds.stem);
+    if (closed) {
       rep.after_stem = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
-      rep.seconds = seconds_since(t0);
       return rep;
     }
     rep.after_stem = StageStatus::kPossible;
@@ -198,15 +258,13 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
   // Stage 4: case analysis.
   if (!opt_.use_case_analysis) {
     rep.conclusion = CheckConclusion::kPossible;
-    rep.seconds = seconds_since(t0);
     return rep;
   }
   const Scoap* sc =
       opt_.case_analysis.use_scoap ? &scoap() : nullptr;
   const auto outcome =
       run_case_analysis(cs, rep.check, sc, opt_.case_analysis);
-  rep.backtracks = outcome.backtracks;
-  rep.decisions = outcome.decisions;
+  close_stage("stage.case_analysis", rep.stage_seconds.case_analysis);
   switch (outcome.result) {
     case CaseResult::kViolation:
       rep.conclusion = CheckConclusion::kViolation;
@@ -219,7 +277,6 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
       rep.conclusion = CheckConclusion::kAbandoned;
       break;
   }
-  rep.seconds = seconds_since(t0);
   return rep;
 }
 
@@ -255,6 +312,10 @@ SuiteReport Verifier::check_circuit(Time delta) {
     suite.after_gitd = aggregate(suite.after_gitd, rep.after_gitd);
     suite.after_stem = aggregate(suite.after_stem, rep.after_stem);
     suite.backtracks += rep.backtracks;
+    suite.stage_seconds.narrowing += rep.stage_seconds.narrowing;
+    suite.stage_seconds.gitd += rep.stage_seconds.gitd;
+    suite.stage_seconds.stem += rep.stage_seconds.stem;
+    suite.stage_seconds.case_analysis += rep.stage_seconds.case_analysis;
 
     if (rep.conclusion == CheckConclusion::kViolation) {
       suite.conclusion = CheckConclusion::kViolation;

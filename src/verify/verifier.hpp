@@ -69,6 +69,20 @@ enum class CheckConclusion : std::uint8_t {
   return "?";
 }
 
+/// Wall time spent in each pipeline stage of a check (Table 1's cost
+/// breakdown). Mirrored process-wide in the telemetry registry under the
+/// "stage.*" timers.
+struct StageSeconds {
+  double narrowing = 0.0;      // stage 1 fixpoint (incl. initial domains)
+  double gitd = 0.0;           // stage 2 dominator-implication loop
+  double stem = 0.0;           // stage 3 stem correlation
+  double case_analysis = 0.0;  // stage 4 FAN search
+};
+
+/// Per-check record. The event tallies (backtracks, decisions, gitd_rounds,
+/// stems_processed, correlated_delay_narrowings) are snapshots of the
+/// telemetry registry counters taken around the check, so they always agree
+/// with the process-wide metrics and the JSONL trace stream.
 struct CheckReport {
   TimingCheck check{};
   StageStatus before_gitd = StageStatus::kNotRun;
@@ -82,6 +96,7 @@ struct CheckReport {
   std::size_t correlated_delay_narrowings = 0;
   std::optional<std::vector<bool>> vector;  // indexed like Circuit::inputs()
   double seconds = 0.0;
+  StageSeconds stage_seconds;
 };
 
 /// Aggregate over every primary output (the paper's Table 1 row semantics:
@@ -97,6 +112,7 @@ struct SuiteReport {
   std::optional<NetId> violating_output;
   std::vector<CheckReport> per_output;
   double seconds = 0.0;
+  StageSeconds stage_seconds;  // summed over per_output
 };
 
 class Verifier {
@@ -147,6 +163,12 @@ class Verifier {
                         Time delta,
                         const std::vector<AbstractSignal>* input_override =
                             nullptr);
+  /// Stage pipeline of `run_check`; the wrapper owns timing, trace events
+  /// and the registry-counter snapshots that fill the report tallies.
+  CheckReport run_check_stages(const Circuit& c, Circuit* mutable_c, NetId s,
+                               Time delta,
+                               const std::vector<AbstractSignal>*
+                                   input_override);
 
   const Circuit& c_;
   VerifyOptions opt_;

@@ -1,0 +1,233 @@
+#include "common/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::Registry;
+using telemetry::ScopedTimer;
+using telemetry::StageTimer;
+using telemetry::TraceField;
+
+/// Removes whatever sink a test installed, even on assertion failure.
+struct SinkGuard {
+  ~SinkGuard() { telemetry::set_trace_sink(nullptr); }
+};
+
+TEST(Counter, IncAddResetValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge g;
+  g.set(10);
+  g.add(-15);
+  EXPECT_EQ(g.value(), -5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(StageTimer, AccumulatesCallsAndTime) {
+  StageTimer t;
+  t.add_ns(1500);
+  t.add_ns(500);
+  EXPECT_EQ(t.calls(), 2u);
+  EXPECT_EQ(t.total_ns(), 2000u);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2e-6);
+}
+
+TEST(ScopedTimer, AddsOnDestruction) {
+  StageTimer t;
+  { ScopedTimer s(t); }
+  EXPECT_EQ(t.calls(), 1u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0: exact zeros; bucket i: [2^(i-1), 2^i); last bucket: overflow.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(4), 8u);
+
+  Histogram h;
+  h.observe(0);
+  h.observe(3);
+  h.observe(3);
+  h.observe(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(100)), 1u);
+}
+
+TEST(Registry, MetricsPersistAndSnapshotIsJson) {
+  auto& reg = Registry::global();
+  auto& c = reg.counter("test.registry_counter");
+  c.inc();
+  // Same name returns the same storage.
+  EXPECT_EQ(&reg.counter("test.registry_counter"), &c);
+  reg.histogram("test.registry_hist").observe(5);
+  reg.timer("test.registry_timer").add_ns(100);
+  reg.gauge("test.registry_gauge").set(-3);
+
+  const std::string js = reg.to_json();
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(js.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(js.find("\"timers\""), std::string::npos);
+  EXPECT_NE(js.find("\"test.registry_counter\""), std::string::npos);
+  EXPECT_NE(js.find("\"test.registry_gauge\":-3"), std::string::npos);
+  // Balanced braces/brackets => structurally sound for our writer.
+  std::int64_t depth = 0;
+  for (char ch : js) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonEscape, EscapesControlAndQuotes) {
+  EXPECT_EQ(telemetry::json_escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(telemetry::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Trace, NoSinkMeansDisabled) {
+  telemetry::set_trace_sink(nullptr);
+  EXPECT_FALSE(telemetry::trace_enabled());
+  // Safe no-op without a sink.
+  telemetry::emit("noop", {{"x", 1}});
+}
+
+TEST(JsonlTraceSink, WritesOneSchemaCorrectLinePerEvent) {
+  SinkGuard guard;
+  std::ostringstream os;
+  telemetry::JsonlTraceSink sink(os);
+  telemetry::set_trace_sink(&sink);
+  telemetry::emit("alpha", {{"n", 7},
+                            {"flag", true},
+                            {"ratio", 0.5},
+                            {"name", "a\"b"}});
+  telemetry::emit("beta", {});
+  telemetry::set_trace_sink(nullptr);
+  telemetry::emit("gamma", {{"dropped", 1}});  // sink removed: not written
+
+  EXPECT_EQ(sink.events_written(), 2u);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.rfind("{\"ev\":\"", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(os.str().find("\"n\":7"), std::string::npos);
+  EXPECT_NE(os.str().find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(os.str().find("\"name\":\"a\\\"b\""), std::string::npos);
+  EXPECT_EQ(os.str().find("gamma"), std::string::npos);
+}
+
+/// Counts events by name; used for trace/report parity checks.
+struct RecordingSink final : telemetry::TraceSink {
+  std::map<std::string, std::size_t> by_name;
+  void event(std::string_view name,
+             std::span<const TraceField> /*fields*/) override {
+    ++by_name[std::string(name)];
+  }
+};
+
+/// The acceptance-criterion parity check: on a circuit that exercises every
+/// stage (Fig. 2 carry-skip adder), the JSONL stream's decision/backtrack/
+/// gitd_round/stem counts equal the CheckReport tallies, which themselves
+/// are registry snapshots.
+TEST(TraceParity, EventCountsMatchReportTallies) {
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto exact = v.exact_floating_delay();  // unsinked warm-up probe
+
+  auto& reg = Registry::global();
+  const auto d0 = reg.counter("search.decisions").value();
+  const auto b0 = reg.counter("search.backtracks").value();
+  const auto g0 = reg.counter("gitd.rounds").value();
+  const auto s0 = reg.counter("stem.stems_processed").value();
+
+  SinkGuard guard;
+  RecordingSink sink;
+  telemetry::set_trace_sink(&sink);
+  const auto suite = v.check_circuit(exact.delay);
+  telemetry::set_trace_sink(nullptr);
+
+  std::size_t decisions = 0, backtracks = 0, gitd_rounds = 0, stems = 0;
+  for (const auto& rep : suite.per_output) {
+    decisions += rep.decisions;
+    backtracks += rep.backtracks;
+    gitd_rounds += rep.gitd_rounds;
+    stems += rep.stems_processed;
+  }
+  EXPECT_EQ(suite.backtracks, backtracks);
+
+  // Trace events == report tallies.
+  EXPECT_EQ(sink.by_name["decision"], decisions);
+  EXPECT_EQ(sink.by_name["backtrack"], backtracks);
+  EXPECT_EQ(sink.by_name["gitd_round"], gitd_rounds);
+  EXPECT_EQ(sink.by_name["stem"], stems);
+  EXPECT_GE(sink.by_name["propagate"], 1u);
+  EXPECT_EQ(sink.by_name["check_begin"], suite.per_output.size());
+  EXPECT_EQ(sink.by_name["check_end"], suite.per_output.size());
+
+  // Report tallies == registry deltas.
+  EXPECT_EQ(reg.counter("search.decisions").value() - d0, decisions);
+  EXPECT_EQ(reg.counter("search.backtracks").value() - b0, backtracks);
+  EXPECT_EQ(reg.counter("gitd.rounds").value() - g0, gitd_rounds);
+  EXPECT_EQ(reg.counter("stem.stems_processed").value() - s0, stems);
+
+  // At delta_E a vector exists, so the search must have decided something.
+  EXPECT_EQ(suite.conclusion, CheckConclusion::kViolation);
+  EXPECT_GE(decisions, 1u);
+}
+
+TEST(TraceParity, StageTimersCoverCheckSeconds) {
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto rep = v.check_output(*c.find_net("cout"), Time(1));
+  const auto& s = rep.stage_seconds;
+  const double staged = s.narrowing + s.gitd + s.stem + s.case_analysis;
+  EXPECT_GT(staged, 0.0);
+  // The stage breakdown can't exceed the whole check's wall time.
+  EXPECT_LE(staged, rep.seconds + 1e-3);
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,19 +1,22 @@
 // waveck command-line front end.
 //
-//   waveck sta     FILE.bench [DELAYS]            topological report
-//   waveck check   FILE.bench DELTA [OUT] [DELAYS]  timing check
-//   waveck delay   FILE.bench [DELAYS]            exact floating delay
-//   waveck outputs FILE.bench [DELAYS]            per-output pessimism table
-//   waveck learn   FILE.bench                     static-learning statistics
+// The full command set lives in the kCommands table below; `usage()` is
+// generated from it, so the table is the single source of truth. Global
+// flags (--metrics FILE.json, --trace FILE.jsonl) are stripped from argv
+// before command dispatch and work with every command.
 //
 // DELAYS is an annotation file (`net dmin dmax`, `*` = default); without
 // one every gate gets the paper's delay of 10.
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/learning.hpp"
+#include "common/telemetry.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas_suite.hpp"
 #include "netlist/bench_io.hpp"
@@ -32,25 +35,43 @@ namespace {
 
 using namespace waveck;
 
+/// One row of the command set; usage() and the file's header comment derive
+/// from this table, so adding a command means adding a row here.
+struct CommandSpec {
+  const char* name;
+  const char* args;
+  const char* desc;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"sta", "FILE [DELAYS]", "topological timing report"},
+    {"check", "FILE DELTA [OUT] [DELAYS]",
+     "can a transition occur at/after DELTA?"},
+    {"delay", "FILE [DELAYS]", "exact floating-mode delay + witness"},
+    {"outputs", "FILE [DELAYS]", "per-output pessimism table"},
+    {"learn", "FILE", "static-learning statistics"},
+    {"path", "FILE [DELAYS]", "exact delay + sensitizable path"},
+    {"trans", "FILE V1 V2 [DELAYS]", "two-vector transition delays"},
+    {"mc", "FILE [SAMPLES] [DELAYS]", "Monte-Carlo delay lower bound"},
+    {"json", "FILE [DELAYS]", "exact delay report as JSON"},
+    {"gen", "NAME [v]", "emit a generated circuit as .bench (or Verilog)"},
+};
+
 int usage() {
+  std::cerr << "usage: waveck <command> [--metrics FILE.json] "
+               "[--trace FILE.jsonl] [args]\n";
+  for (const auto& cmd : kCommands) {
+    std::cerr << "  " << std::left << std::setw(8) << cmd.name
+              << std::setw(26) << cmd.args << cmd.desc << "\n";
+  }
   std::cerr <<
-      "usage: waveck <command> FILE.bench [args]\n"
-      "  sta     FILE [DELAYS]             topological timing report\n"
-      "  check   FILE DELTA [OUT] [DELAYS] can a transition occur at/after "
-      "DELTA?\n"
-      "  delay   FILE [DELAYS]             exact floating-mode delay + "
-      "witness\n"
-      "  outputs FILE [DELAYS]             per-output pessimism table\n"
-      "  learn   FILE                      static-learning statistics\n"
-      "  path    FILE [DELAYS]             exact delay + sensitizable path\n"
-      "  trans   FILE V1 V2 [DELAYS]       two-vector transition delays\n"
-      "  mc      FILE [SAMPLES] [DELAYS]   Monte-Carlo delay lower bound\n"
-      "  json    FILE [DELAYS]             exact delay report as JSON\n"
-      "  gen     NAME [v]                  emit a generated circuit as .bench\n"
-      "                                    (or Verilog); NAME: c17, c432..c7552,\n"
-      "                                    hrapcenko, csa16, csel16, ks16,\n"
-      "                                    mul8, wallace8\n"
-      "FILE may be ISCAS `.bench` or structural Verilog `.v`.\n";
+      "gen NAMEs: c17, c432..c7552, hrapcenko, csa16, csel16, ks16, mul8, "
+      "wallace8\n"
+      "FILE may be ISCAS `.bench` or structural Verilog `.v`.\n"
+      "global flags (any command):\n"
+      "  --metrics FILE.json   write the telemetry registry snapshot on exit\n"
+      "  --trace FILE.jsonl    stream JSONL engine events (propagate,\n"
+      "                        decision, backtrack, stem, gitd_round, ...)\n";
   return 2;
 }
 
@@ -277,53 +298,83 @@ int cmd_gen(const std::string& name, bool verilog) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::vector<std::string>& args) {
+  // args[0] = command, args[1] = FILE/NAME, args[2..] = command arguments.
+  if (args.size() < 2) return usage();
+  const std::string& cmd = args[0];
+  const std::string& file = args[1];
+  const auto arg = [&](std::size_t i) -> std::string {
+    return i < args.size() ? args[i] : "";
+  };
+  if (cmd == "sta") return cmd_sta(load(file, arg(2)));
+  if (cmd == "check") {
+    if (args.size() < 3) return usage();
+    return cmd_check(load(file, arg(4)), args[2], arg(3));
+  }
+  if (cmd == "delay") return cmd_delay(load(file, arg(2)));
+  if (cmd == "outputs") return cmd_outputs(load(file, arg(2)));
+  if (cmd == "learn") return cmd_learn(load(file, ""));
+  if (cmd == "path") return cmd_path(load(file, arg(2)));
+  if (cmd == "trans") {
+    if (args.size() < 4) return usage();
+    return cmd_trans(load(file, arg(4)), args[2], args[3]);
+  }
+  if (cmd == "mc") {
+    const std::size_t samples =
+        args.size() > 2 ? std::stoull(args[2]) : std::size_t{1000};
+    return cmd_mc(load(file, arg(3)), samples);
+  }
+  if (cmd == "json") return cmd_json(load(file, arg(2)));
+  if (cmd == "gen") return cmd_gen(file, arg(2) == "v");
+  return usage();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
-  const std::string file = argv[2];
+  // Strip the global telemetry flags first; everything left is positional.
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics" || a == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << a << " needs a file argument\n";
+        return usage();
+      }
+      (a == "--metrics" ? metrics_path : trace_path) = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+
+  std::unique_ptr<telemetry::JsonlTraceSink> sink;
+  int rc = 2;
   try {
-    if (cmd == "sta") {
-      return cmd_sta(load(file, argc > 3 ? argv[3] : ""));
+    if (!trace_path.empty()) {
+      sink = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
+      telemetry::set_trace_sink(sink.get());
     }
-    if (cmd == "check") {
-      if (argc < 4) return usage();
-      std::string out_name;
-      std::string delays;
-      if (argc > 4) out_name = argv[4];
-      if (argc > 5) delays = argv[5];
-      return cmd_check(load(file, delays), argv[3], out_name);
-    }
-    if (cmd == "delay") {
-      return cmd_delay(load(file, argc > 3 ? argv[3] : ""));
-    }
-    if (cmd == "outputs") {
-      return cmd_outputs(load(file, argc > 3 ? argv[3] : ""));
-    }
-    if (cmd == "learn") {
-      return cmd_learn(load(file, ""));
-    }
-    if (cmd == "path") {
-      return cmd_path(load(file, argc > 3 ? argv[3] : ""));
-    }
-    if (cmd == "trans") {
-      if (argc < 5) return usage();
-      return cmd_trans(load(file, argc > 5 ? argv[5] : ""), argv[3],
-                       argv[4]);
-    }
-    if (cmd == "mc") {
-      const std::size_t samples =
-          argc > 3 ? std::stoull(argv[3]) : std::size_t{1000};
-      return cmd_mc(load(file, argc > 4 ? argv[4] : ""), samples);
-    }
-    if (cmd == "json") {
-      return cmd_json(load(file, argc > 3 ? argv[3] : ""));
-    }
-    if (cmd == "gen") {
-      return cmd_gen(file, argc > 3 && std::string(argv[3]) == "v");
-    }
+    rc = dispatch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    rc = 2;
   }
-  return usage();
+  telemetry::set_trace_sink(nullptr);
+  sink.reset();
+  if (!metrics_path.empty()) {
+    // Written even after a failed command: partial metrics still help.
+    std::ofstream os(metrics_path);
+    if (os) {
+      os << telemetry::Registry::global().to_json() << "\n";
+    } else {
+      std::cerr << "error: cannot open " << metrics_path << "\n";
+      if (rc == 0) rc = 2;
+    }
+  }
+  return rc;
 }

@@ -18,6 +18,7 @@
 #include "gen/iscas_suite.hpp"
 #include "harness.hpp"
 #include "netlist/topo_delay.hpp"
+#include "sched/check_scheduler.hpp"
 #include "sim/floating_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace waveck::bench;
   bool quick = false;
   bool json = false;
+  std::size_t jobs = 0;  // 0 = serial only, no parallel pass
   std::string json_path = "BENCH_table1.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -33,8 +35,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--jobs") {
+      jobs = sched::ThreadPool::hardware_workers();
+      if (i + 1 < argc && argv[i + 1][0] != '-') jobs = std::stoull(argv[++i]);
+      if (jobs == 0) jobs = sched::ThreadPool::hardware_workers();
     } else {
-      std::cerr << "usage: bench_table1 [--quick] [--json [FILE]]\n";
+      std::cerr << "usage: bench_table1 [--quick] [--json [FILE]] "
+                   "[--jobs [N]]\n";
       return 2;
     }
   }
@@ -44,6 +51,9 @@ int main(int argc, char** argv) {
   std::cout << std::string(80, '=') << "\n";
   print_table1_header();
   std::vector<Table1Row> rows;
+  double serial_total = 0.0;
+  double parallel_total = 0.0;
+  bool matched = true;
 
   const auto suite = gen::table1_suite(quick);
   for (const auto& entry : suite) {
@@ -64,12 +74,36 @@ int main(int argc, char** argv) {
     const auto above = v.check_circuit(exact.delay + 1);
     auto row_above = row_from_suite(entry.name, top, exact.delay + 1, "",
                                     above);
-    print_table1_row(row_above);
-    rows.push_back(row_above);
 
     // Row 2: delta_E (witness row).
     const auto at = v.check_circuit(exact.delay);
     auto row_at = row_from_suite(entry.name, top, exact.delay, kind, at);
+
+    if (jobs > 0) {
+      // Parallel pass: the same two suite checks through the scheduler.
+      // The deterministic merge must reproduce the serial conclusions and
+      // stage statuses exactly; only wall-clock may differ.
+      sched::CheckScheduler s(v, {.jobs = jobs});
+      const auto p_above = s.check_circuit(exact.delay + 1);
+      const auto p_at = s.check_circuit(exact.delay);
+      const auto same = [](const SuiteReport& a, const SuiteReport& b) {
+        return a.conclusion == b.conclusion && a.before_gitd == b.before_gitd &&
+               a.after_gitd == b.after_gitd && a.after_stem == b.after_stem &&
+               a.backtracks == b.backtracks;
+      };
+      if (!same(above, p_above) || !same(at, p_at)) {
+        std::cerr << entry.name
+                  << ": parallel result diverges from serial -- bug\n";
+        matched = false;
+      }
+      row_above.seconds_parallel = p_above.seconds;
+      row_at.seconds_parallel = p_at.seconds;
+      serial_total += row_above.seconds + row_at.seconds;
+      parallel_total += p_above.seconds + p_at.seconds;
+    }
+
+    print_table1_row(row_above);
+    rows.push_back(row_above);
     print_table1_row(row_at);
     rows.push_back(row_at);
   }
@@ -77,9 +111,21 @@ int main(int argc, char** argv) {
   std::cout << "\nLegend: P possible violation, N no violation, V vector "
                "found,\n        A abandoned (backtrack budget), - not "
                "needed, E exact delay, U upper bound\n";
+  if (jobs > 0) {
+    std::cout << "\nparallel pass (" << jobs << " jobs): serial "
+              << fmt_secs(serial_total) << "s vs parallel "
+              << fmt_secs(parallel_total) << "s";
+    if (parallel_total > 0) {
+      std::cout << "  (" << std::fixed << std::setprecision(2)
+                << serial_total / parallel_total << "x)";
+    }
+    std::cout << "\n"
+              << (matched ? "parallel results match serial on every row\n"
+                          : "PARALLEL/SERIAL MISMATCH -- see above\n");
+  }
   if (json) {
-    write_table1_json(json_path, rows);
+    write_table1_json(json_path, rows, jobs);
     std::cout << "wrote " << json_path << "\n";
   }
-  return 0;
+  return matched ? 0 : 1;
 }

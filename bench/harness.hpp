@@ -47,6 +47,9 @@ struct Table1Row {
   double seconds = 0.0;
   std::size_t backtracks_n = 0;  // numeric form for JSON output
   StageSeconds stage_seconds;
+  /// Wall-clock of the same suite check re-run through the parallel
+  /// CheckScheduler (bench_table1 --jobs); < 0 = parallel pass not run.
+  double seconds_parallel = -1.0;
 };
 
 inline void print_table1_header() {
@@ -104,14 +107,19 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
 
 /// Writes the collected rows as one JSON document (BENCH_table1.json): each
 /// row carries the Table 1 columns plus the per-stage wall-clock breakdown.
+/// `jobs` > 0 records the worker count of the parallel pass; rows then also
+/// carry "seconds_parallel" (serial-vs-parallel comparison).
 inline void write_table1_json(const std::string& path,
-                              const std::vector<Table1Row>& rows) {
+                              const std::vector<Table1Row>& rows,
+                              std::size_t jobs = 0) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot open " + path);
   const auto esc = [](const std::string& s) {
     return telemetry::json_escape(s);
   };
-  os << "{\"bench\":\"table1\",\"rows\":[";
+  os << "{\"bench\":\"table1\"";
+  if (jobs > 0) os << ",\"jobs\":" << jobs;
+  os << ",\"rows\":[";
   bool first = true;
   for (const auto& r : rows) {
     if (!first) os << ",";
@@ -125,8 +133,11 @@ inline void write_table1_json(const std::string& path,
        << ",\"after_stem\":\"" << to_string(r.after_stem) << "\""
        << ",\"backtracks\":" << r.backtracks_n
        << ",\"result\":\"" << esc(r.result) << "\""
-       << ",\"seconds\":" << r.seconds
-       << ",\"stage_seconds\":{"
+       << ",\"seconds\":" << r.seconds;
+    if (r.seconds_parallel >= 0) {
+      os << ",\"seconds_parallel\":" << r.seconds_parallel;
+    }
+    os << ",\"stage_seconds\":{"
        << "\"narrowing\":" << r.stage_seconds.narrowing
        << ",\"gitd\":" << r.stage_seconds.gitd
        << ",\"stem\":" << r.stage_seconds.stem

@@ -86,7 +86,7 @@ Window delay_window(const ConstraintSystem& cs, const Gate& g) {
 
 DelayCorrelationStats apply_delay_correlation(ConstraintSystem& cs,
                                               Circuit& c) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = telemetry::Registry::current();
   auto& ctr_rounds = reg.counter("delay_corr.rounds");
   auto& ctr_gates = reg.counter("delay_corr.gates_narrowed");
 

@@ -7,24 +7,44 @@
 namespace waveck::telemetry {
 
 namespace detail {
-TraceSink* g_trace_sink = nullptr;
+std::atomic<TraceSink*> g_trace_sink{nullptr};
 }  // namespace detail
 
-void set_trace_sink(TraceSink* sink) { detail::g_trace_sink = sink; }
+namespace {
+thread_local Registry* t_registry = nullptr;
+thread_local int t_worker_id = 0;
+}  // namespace
+
+void set_trace_sink(TraceSink* sink) {
+  detail::g_trace_sink.store(sink, std::memory_order_release);
+}
+
+int worker_id() { return t_worker_id; }
+void set_worker_id(int id) { t_worker_id = id; }
 
 Registry& Registry::global() {
   static Registry instance;
   return instance;
 }
 
+Registry& Registry::current() {
+  return t_registry != nullptr ? *t_registry : global();
+}
+
+Registry* Registry::exchange_thread_registry(Registry* r) {
+  Registry* prev = t_registry;
+  t_registry = r;
+  return prev;
+}
+
 namespace {
 
 template <class Table>
-auto& lookup(Table& table, std::string_view name) {
+auto& lookup(std::mutex& mu, Table& table, std::string_view name) {
+  const std::scoped_lock lock(mu);
   const auto it = table.find(name);
   if (it != table.end()) return it->second;
-  return table.emplace(std::string(name), typename Table::mapped_type{})
-      .first->second;
+  return table.try_emplace(std::string(name)).first->second;
 }
 
 std::string fmt_double(double v) {
@@ -36,17 +56,34 @@ std::string fmt_double(double v) {
 }  // namespace
 
 Counter& Registry::counter(std::string_view name) {
-  return lookup(counters_, name);
+  return lookup(mu_, counters_, name);
 }
-Gauge& Registry::gauge(std::string_view name) { return lookup(gauges_, name); }
+Gauge& Registry::gauge(std::string_view name) {
+  return lookup(mu_, gauges_, name);
+}
 Histogram& Registry::histogram(std::string_view name) {
-  return lookup(histograms_, name);
+  return lookup(mu_, histograms_, name);
 }
 StageTimer& Registry::timer(std::string_view name) {
-  return lookup(timers_, name);
+  return lookup(mu_, timers_, name);
+}
+
+void Registry::merge_from(const Registry& other) {
+  // `other` must be quiescent (a finished worker's registry); take only its
+  // structural lock. Lock order global-then-worker is the only one used.
+  const std::scoped_lock other_lock(other.mu_);
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge_from(h);
+  }
+  for (const auto& [name, t] : other.timers_) {
+    timer(name).add(t.calls(), t.total_ns());
+  }
 }
 
 std::string Registry::to_json() const {
+  const std::scoped_lock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -87,6 +124,7 @@ std::string Registry::to_json() const {
 }
 
 void Registry::reset() {
+  const std::scoped_lock lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
@@ -130,21 +168,27 @@ void JsonlTraceSink::event(std::string_view name,
   const auto t = std::chrono::duration_cast<std::chrono::nanoseconds>(
                      std::chrono::steady_clock::now() - start_)
                      .count();
-  std::ostream& os = *os_;
-  os << "{\"ev\":\"" << json_escape(name) << "\",\"seq\":" << ++seq_
-     << ",\"t\":" << t;
+  // Format the whole line locally, then write it under the mutex: lines
+  // from concurrent workers stay valid JSONL (one object per line).
+  std::ostringstream line;
+  line << ",\"t\":" << t << ",\"w\":" << worker_id();
   for (const TraceField& f : fields) {
-    os << ",\"" << json_escape(f.key) << "\":";
+    line << ",\"" << json_escape(f.key) << "\":";
     switch (f.kind) {
-      case TraceField::Kind::kInt: os << f.i; break;
-      case TraceField::Kind::kDouble: os << fmt_double(f.d); break;
-      case TraceField::Kind::kBool: os << (f.b ? "true" : "false"); break;
+      case TraceField::Kind::kInt: line << f.i; break;
+      case TraceField::Kind::kDouble: line << fmt_double(f.d); break;
+      case TraceField::Kind::kBool: line << (f.b ? "true" : "false"); break;
       case TraceField::Kind::kString:
-        os << '"' << json_escape(f.s) << '"';
+        line << '"' << json_escape(f.s) << '"';
         break;
     }
   }
-  os << "}\n";
+  line << "}\n";
+  const std::string body = line.str();
+  const std::scoped_lock lock(mu_);
+  *os_ << "{\"ev\":\"" << json_escape(name)
+       << "\",\"seq\":" << seq_.fetch_add(1, std::memory_order_relaxed) + 1
+       << body;
 }
 
 }  // namespace waveck::telemetry

@@ -7,14 +7,23 @@
 //    guards on `trace_enabled()` (a single pointer load + branch) before
 //    constructing any event field, so the disabled path neither allocates
 //    nor formats.
-//  * Metric updates are plain integer arithmetic on storage cached by the
-//    hot objects (ConstraintSystem caches references at construction);
-//    registry map lookups happen once per object/stage, never per event.
-//  * Single-threaded by design, like the rest of the engine; a future
-//    parallel-checks PR shards one Registry per worker and merges.
+//  * Metric updates are relaxed atomic integer arithmetic on storage cached
+//    by the hot objects (ConstraintSystem caches references at
+//    construction); registry map lookups happen once per object/stage,
+//    never per event, and are serialized by a registry mutex.
+//  * Concurrency (doc/PARALLELISM.md): every metric object tolerates
+//    concurrent increment from any number of threads. For *attributable*
+//    tallies (the per-check snapshot deltas in CheckReport) a worker thread
+//    installs its own Registry via ScopedRegistry; hot paths resolve
+//    metrics through Registry::current(), and the scheduler merges worker
+//    registries into the global one with Registry::merge_from() at the end
+//    of a batch. Trace events carry the thread's worker id (`"w"` field);
+//    JsonlTraceSink serializes whole lines under a mutex so concurrent
+//    emissions never interleave.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -22,53 +31,65 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 
 namespace waveck::telemetry {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Safe under concurrent increment
+/// (relaxed atomics: totals are exact, cross-metric ordering is not).
 class Counter {
  public:
-  void inc() { ++v_; }
-  void add(std::uint64_t n) { v_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  void inc() { v_.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// A value that can move both ways (queue depth, search depth, ...).
 class Gauge {
  public:
-  void set(std::int64_t v) { v_ = v; }
-  void add(std::int64_t d) { v_ += d; }
-  [[nodiscard]] std::int64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t v_ = 0;
+  std::atomic<std::int64_t> v_{0};
 };
 
 /// Fixed-bucket power-of-two histogram for small non-negative magnitudes
 /// (narrowing-delta sizes, queue depths, conflict depths). Bucket 0 holds
 /// exact zeros; bucket i (1 <= i <= kBuckets-2) holds [2^(i-1), 2^i); the
-/// last bucket overflows. No allocation, O(1) observe.
+/// last bucket overflows. No allocation, O(1) observe. Concurrent observes
+/// keep count/sum/bucket totals exact; a racing snapshot may be torn
+/// across the three (each is individually consistent).
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 18;
 
   void observe(std::uint64_t v) {
-    ++buckets_[bucket_index(v)];
-    ++count_;
-    sum_ += v;
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
   }
   /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
   [[nodiscard]] static constexpr std::uint64_t bucket_lower_bound(
@@ -80,38 +101,50 @@ class Histogram {
     const auto w = static_cast<std::size_t>(std::bit_width(v));
     return w < kBuckets - 1 ? w : kBuckets - 1;
   }
+  void merge_from(const Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  }
   void reset() {
-    buckets_.fill(0);
-    count_ = 0;
-    sum_ = 0;
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
 /// Accumulating stage timer: number of runs and total wall time in ns.
 class StageTimer {
  public:
-  void add_ns(std::uint64_t ns) {
-    ++calls_;
-    total_ns_ += ns;
+  void add_ns(std::uint64_t ns) { add(1, ns); }
+  void add(std::uint64_t calls, std::uint64_t ns) {
+    calls_.fetch_add(calls, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t calls() const { return calls_; }
-  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double seconds() const {
-    return static_cast<double>(total_ns_) * 1e-9;
+    return static_cast<double>(total_ns()) * 1e-9;
   }
   void reset() {
-    calls_ = 0;
-    total_ns_ = 0;
+    calls_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::uint64_t calls_ = 0;
-  std::uint64_t total_ns_ = 0;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
 };
 
 /// Steady-clock stopwatch with ns resolution.
@@ -145,17 +178,34 @@ class ScopedTimer {
   StopWatch watch_;
 };
 
-/// Process-wide metrics registry. Metric objects are created on first use
-/// and live for the process; returned references stay valid (node-based
+/// Metrics registry. Metric objects are created on first use and live as
+/// long as the registry; returned references stay valid (node-based
 /// storage). Names are dotted paths ("engine.narrowings", "stage.gitd").
+///
+/// The process-global registry is `global()`. A thread may interpose its
+/// own instance with ScopedRegistry, after which `current()` — the lookup
+/// the engine's hot objects use — resolves to that instance on that thread
+/// only; the owner later folds it back with `merge_from`. Lookups are
+/// guarded by a per-registry mutex; value updates are lock-free.
 class Registry {
  public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
   [[nodiscard]] static Registry& global();
+  /// The calling thread's registry: its ScopedRegistry override if one is
+  /// installed, the process-global registry otherwise.
+  [[nodiscard]] static Registry& current();
 
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name);
   [[nodiscard]] StageTimer& timer(std::string_view name);
+
+  /// Adds every metric value of `other` into this registry (gauges add;
+  /// histograms merge bucket-wise). `other` should be quiescent.
+  void merge_from(const Registry& other);
 
   /// Deterministic (name-sorted) JSON snapshot of every metric.
   [[nodiscard]] std::string to_json() const;
@@ -164,13 +214,30 @@ class Registry {
   void reset();
 
  private:
+  friend class ScopedRegistry;
+  static Registry* exchange_thread_registry(Registry* r);
+
   template <class M>
   using Table = std::map<std::string, M, std::less<>>;
 
+  mutable std::mutex mu_;  // guards table structure, not metric values
   Table<Counter> counters_;
   Table<Gauge> gauges_;
   Table<Histogram> histograms_;
   Table<StageTimer> timers_;
+};
+
+/// RAII: makes `r` the calling thread's Registry::current() for the scope.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& r)
+      : prev_(Registry::exchange_thread_registry(&r)) {}
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  ~ScopedRegistry() { Registry::exchange_thread_registry(prev_); }
+
+ private:
+  Registry* prev_;
 };
 
 // ---------------------------------------------------------------------------
@@ -204,7 +271,9 @@ struct TraceField {
 };
 
 /// Receives structured events. Implementations must tolerate any event name
-/// and field set (the schema is producer-defined; see doc/OBSERVABILITY.md).
+/// and field set (the schema is producer-defined; see doc/OBSERVABILITY.md)
+/// and, when the scheduler runs checks in parallel, concurrent calls from
+/// multiple threads (JsonlTraceSink serializes internally).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -213,15 +282,21 @@ class TraceSink {
 };
 
 namespace detail {
-extern TraceSink* g_trace_sink;
+extern std::atomic<TraceSink*> g_trace_sink;
 }  // namespace detail
 
-[[nodiscard]] inline TraceSink* trace_sink() { return detail::g_trace_sink; }
-[[nodiscard]] inline bool trace_enabled() {
-  return detail::g_trace_sink != nullptr;
+[[nodiscard]] inline TraceSink* trace_sink() {
+  return detail::g_trace_sink.load(std::memory_order_acquire);
 }
+[[nodiscard]] inline bool trace_enabled() { return trace_sink() != nullptr; }
 /// Installs (or, with nullptr, removes) the process trace sink. Not owned.
+/// Install/remove while worker threads may emit is the caller's hazard.
 void set_trace_sink(TraceSink* sink);
+
+/// The calling thread's worker id, stamped into every JSONL trace line as
+/// the "w" field: 0 on the main thread, 1..N on scheduler pool workers.
+[[nodiscard]] int worker_id();
+void set_worker_id(int id);
 
 /// Emits an event iff a sink is installed. Call sites that compute field
 /// values (names, deltas) should guard on `trace_enabled()` themselves so
@@ -234,8 +309,10 @@ inline void emit(std::string_view name,
 }
 
 /// Streams events as JSON Lines: one object per event, first keys always
-/// "ev" (event name), "seq" (1-based sequence number) and "t" (ns since the
-/// sink was created), then the producer fields in order.
+/// "ev" (event name), "seq" (1-based sequence number), "t" (ns since the
+/// sink was created) and "w" (emitting worker id), then the producer fields
+/// in order. Lines are formatted into a local buffer and written under a
+/// mutex, so events from concurrent workers never interleave mid-line.
 class JsonlTraceSink final : public TraceSink {
  public:
   /// Borrows `os`; the stream must outlive the sink.
@@ -246,12 +323,15 @@ class JsonlTraceSink final : public TraceSink {
   void event(std::string_view name,
              std::span<const TraceField> fields) override;
 
-  [[nodiscard]] std::uint64_t events_written() const { return seq_; }
+  [[nodiscard]] std::uint64_t events_written() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::ofstream file_;
   std::ostream* os_;
-  std::uint64_t seq_ = 0;
+  std::mutex mu_;
+  std::atomic<std::uint64_t> seq_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

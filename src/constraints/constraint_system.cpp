@@ -11,17 +11,17 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       domains_(circuit.num_nets(), AbstractSignal::top()),
       in_queue_(circuit.num_gates(), false),
       save_epoch_(circuit.num_nets(), 0),
-      ctr_fixpoints_(telemetry::Registry::global().counter("engine.fixpoints")),
+      ctr_fixpoints_(telemetry::Registry::current().counter("engine.fixpoints")),
       ctr_applications_(
-          telemetry::Registry::global().counter("engine.applications")),
+          telemetry::Registry::current().counter("engine.applications")),
       ctr_narrowings_(
-          telemetry::Registry::global().counter("engine.narrowings")),
-      ctr_conflicts_(telemetry::Registry::global().counter("engine.conflicts")),
+          telemetry::Registry::current().counter("engine.narrowings")),
+      ctr_conflicts_(telemetry::Registry::current().counter("engine.conflicts")),
       h_queue_depth_(
-          telemetry::Registry::global().histogram("engine.queue_depth")),
-      h_fixpoint_narrowings_(telemetry::Registry::global().histogram(
+          telemetry::Registry::current().histogram("engine.queue_depth")),
+      h_fixpoint_narrowings_(telemetry::Registry::current().histogram(
           "engine.fixpoint_narrowings")),
-      h_narrowing_magnitude_(telemetry::Registry::global().histogram(
+      h_narrowing_magnitude_(telemetry::Registry::current().histogram(
           "engine.narrowing_magnitude")) {}
 
 void ConstraintSystem::save_if_needed(NetId n) {

@@ -1,0 +1,40 @@
+// Cooperative cancellation for scheduled check batches.
+//
+// A CancellationToken is a single sticky flag shared between the party that
+// decides to stop (a worker that found a witness, or an external caller)
+// and the parties that should stop (workers about to claim the next job,
+// and — through CaseAnalysisOptions::cancel — the FAN search inside an
+// in-flight check, which then concludes kAbandoned; doc/PARALLELISM.md
+// spells out how that interacts with suite merging).
+#pragma once
+
+#include <atomic>
+
+namespace waveck::sched {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  /// Re-arms the token for the next batch (e.g. the next exact-delay
+  /// probe). Only call between batches, never while workers are running.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+  /// The raw flag, for engine layers that poll a plain atomic (the case
+  /// analysis takes `const std::atomic<bool>*` to avoid depending on
+  /// sched). Lifetime is the token's.
+  [[nodiscard]] const std::atomic<bool>& flag() const noexcept {
+    return cancelled_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace waveck::sched

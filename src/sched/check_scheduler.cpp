@@ -1,0 +1,122 @@
+#include "sched/check_scheduler.hpp"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/telemetry.hpp"
+
+namespace waveck::sched {
+
+namespace {
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs == 0 ? ThreadPool::hardware_workers() : jobs;
+}
+
+}  // namespace
+
+CheckScheduler::CheckScheduler(Verifier& v, ScheduleOptions opt)
+    : v_(v), opt_(opt), jobs_(resolve_jobs(opt.jobs)) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+  if (opt_.witness_only) v_.set_cancel_flag(&token_.flag());
+}
+
+CheckScheduler::CheckScheduler(const Circuit& c, VerifyOptions vopt,
+                               ScheduleOptions opt)
+    : owned_(std::make_unique<Verifier>(c, std::move(vopt))),
+      v_(*owned_),
+      opt_(opt),
+      jobs_(resolve_jobs(opt.jobs)) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+  if (opt_.witness_only) v_.set_cancel_flag(&token_.flag());
+}
+
+CheckScheduler::~CheckScheduler() {
+  if (opt_.witness_only) v_.set_cancel_flag(nullptr);
+}
+
+SuiteReport CheckScheduler::check_circuit(Time delta) {
+  if (jobs_ <= 1) {
+    // Inline serial run: same plan and merge code inside the Verifier.
+    return v_.check_circuit(delta);
+  }
+
+  const telemetry::StopWatch watch;
+  token_.reset();
+  v_.prepare_shared();  // workers only read the shared analyses
+
+  const SuitePlan plan = plan_suite_checks(v_.circuit(), delta);
+  const std::size_t n = plan.order.size();
+  std::vector<std::optional<CheckReport>> slots(n);
+
+  // Index of the lowest-ordered violating output found so far. Checks
+  // ordered strictly after it are dead weight (the serial loop would have
+  // stopped before them), so not-yet-started jobs consult it and bail.
+  std::atomic<std::size_t> first_violation{n};
+
+  // One private registry per pool worker: CheckReport tallies snapshot the
+  // worker's own counters, unpolluted by concurrent checks.
+  std::vector<std::unique_ptr<telemetry::Registry>> worker_regs;
+  worker_regs.reserve(pool_->worker_count());
+  for (std::size_t i = 0; i < pool_->worker_count(); ++i) {
+    worker_regs.push_back(std::make_unique<telemetry::Registry>());
+  }
+
+  std::vector<ThreadPool::Job> batch;
+  batch.reserve(n);
+  std::size_t skipped = 0;  // trivial outputs never become jobs
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.trivial[i]) {
+      slots[i] = sta_trivial_report(plan.order[i], delta);
+      ++skipped;
+      continue;
+    }
+    batch.push_back([this, &plan, &slots, &first_violation, &worker_regs,
+                     delta, i](std::size_t worker) {
+      if (token_.cancelled()) return;  // witness-only: batch already decided
+      if (i > first_violation.load(std::memory_order_acquire)) {
+        return;  // ordered after a known violation: serial never ran it
+      }
+      telemetry::ScopedRegistry scoped(*worker_regs[worker]);
+      CheckReport rep = v_.check_output(plan.order[i], delta);
+      if (rep.conclusion == CheckConclusion::kViolation) {
+        std::size_t cur = first_violation.load(std::memory_order_relaxed);
+        while (i < cur && !first_violation.compare_exchange_weak(
+                              cur, i, std::memory_order_acq_rel)) {
+        }
+        if (opt_.witness_only) token_.cancel();
+      }
+      slots[i] = std::move(rep);
+    });
+  }
+  pool_->run(std::move(batch));
+
+  auto& global = telemetry::Registry::global();
+  for (const auto& reg : worker_regs) global.merge_from(*reg);
+  global.counter("sched.batches").inc();
+  global.counter("sched.jobs").add(n - skipped);
+
+  // Merge strictly in plan order. Deterministic mode: every slot up to and
+  // including the lowest-indexed violation is present, so this loop is the
+  // serial loop replayed. Witness-only mode: missing slots are checks the
+  // cancellation skipped; what completed merges in order.
+  std::size_t cancelled = 0;
+  SuiteMerger merger(delta);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots[i]) {
+      ++cancelled;
+      continue;
+    }
+    if (!merger.add(std::move(*slots[i]))) break;
+  }
+  global.counter("sched.checks_skipped").add(cancelled);
+  return std::move(merger).finish(watch.seconds());
+}
+
+Verifier::ExactDelayResult CheckScheduler::exact_floating_delay() {
+  return v_.exact_floating_delay(
+      [this](Time delta) { return check_circuit(delta); });
+}
+
+}  // namespace waveck::sched

@@ -1,0 +1,83 @@
+// Parallel suite verification: fans the per-output checks of a suite run
+// out across a work-stealing thread pool and merges the results into a
+// SuiteReport that is bit-identical to the serial Verifier::check_circuit
+// (same SuitePlan order, same SuiteMerger fold — see doc/PARALLELISM.md
+// for the determinism contract).
+//
+// Two modes:
+//  * Deterministic (default): checks ordered after the lowest-indexed
+//    violating output are skipped once that violation is known (serial
+//    never visits them either), but every check ordered before it runs to
+//    completion. The merged suite — conclusion, stage statuses, witness,
+//    backtracks, stage_seconds sums, per_output list — equals the serial
+//    one exactly.
+//  * Witness-only (`ScheduleOptions::witness_only`): the first violation
+//    found by any worker cancels the whole batch through a
+//    CancellationToken; not-yet-started checks are skipped and in-flight
+//    case analyses conclude kAbandoned at their next decision boundary.
+//    Fastest path to *a* witness; per_output contents then depend on
+//    completion order (the reported violation is still the lowest-indexed
+//    one among the checks that completed).
+//
+// Telemetry: each worker runs its checks under a thread-local Registry
+// (telemetry::ScopedRegistry), so CheckReport tallies stay attributable;
+// worker registries are merged into the global registry at the end of
+// every batch. Trace events carry the worker id ("w" field).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/cancellation.hpp"
+#include "sched/thread_pool.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck::sched {
+
+struct ScheduleOptions {
+  /// Worker threads for suite fan-out. 0 = ThreadPool::hardware_workers();
+  /// 1 = run the suite inline on the calling thread (identical to the
+  /// serial Verifier path, no pool is created).
+  std::size_t jobs = 0;
+  /// Abort the whole batch on the first violation found by any worker.
+  bool witness_only = false;
+};
+
+class CheckScheduler {
+ public:
+  /// Borrows `v`; the verifier must outlive the scheduler. In witness-only
+  /// mode the scheduler installs its cancellation flag into `v` (and
+  /// clears it again on destruction).
+  explicit CheckScheduler(Verifier& v, ScheduleOptions opt = {});
+  /// Owns a Verifier over `c` built with `vopt`.
+  CheckScheduler(const Circuit& c, VerifyOptions vopt = {},
+                 ScheduleOptions opt = {});
+  CheckScheduler(const CheckScheduler&) = delete;
+  CheckScheduler& operator=(const CheckScheduler&) = delete;
+  ~CheckScheduler();
+
+  /// Parallel equivalent of Verifier::check_circuit (deterministic mode:
+  /// bit-identical result). Serializes with itself — one suite at a time.
+  [[nodiscard]] SuiteReport check_circuit(Time delta);
+
+  /// Exact floating-mode delay with every probe's suite run through this
+  /// scheduler. Same search loop, bounds and jumps as the serial
+  /// Verifier::exact_floating_delay.
+  [[nodiscard]] Verifier::ExactDelayResult exact_floating_delay();
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+  [[nodiscard]] Verifier& verifier() { return v_; }
+  /// The batch token: cancel() from any thread aborts the current suite
+  /// (remaining checks are skipped; merged from what completed).
+  [[nodiscard]] CancellationToken& token() { return token_; }
+
+ private:
+  std::unique_ptr<Verifier> owned_;  // only for the circuit-owning ctor
+  Verifier& v_;
+  ScheduleOptions opt_;
+  std::size_t jobs_;
+  CancellationToken token_;
+  std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+};
+
+}  // namespace waveck::sched

@@ -467,7 +467,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
                                       const TimingCheck& check,
                                       const Scoap* scoap,
                                       const CaseAnalysisOptions& opt) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = telemetry::Registry::current();
   auto& ctr_decisions = reg.counter("search.decisions");
   auto& ctr_backtracks = reg.counter("search.backtracks");
   auto& ctr_conflicts = reg.counter("search.conflicts");
@@ -490,6 +490,12 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
   bool consistent = propagate(cs, check, opt.dominators_in_search);
 
   for (;;) {
+    if (opt.cancel != nullptr &&
+        opt.cancel->load(std::memory_order_relaxed)) {
+      cs.pop_to(entry);
+      out.result = CaseResult::kAbandoned;
+      return out;
+    }
     if (consistent && all_inputs_decided(cs)) {
       // Candidate test vector; cross-validate with the independent
       // floating-mode simulator (exact per-vector settle time).

@@ -23,6 +23,7 @@
 //     unjustified gates.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <optional>
 #include <vector>
@@ -45,6 +46,11 @@ struct CaseAnalysisOptions {
   bool use_scoap = true;
   /// Ablation: collapse the 3-phase decision ordering into one phase.
   bool three_phase = true;
+  /// Cooperative cancellation (src/sched): when non-null and set, the
+  /// search stops at the next decision boundary and returns kAbandoned,
+  /// exactly as if the backtrack budget had been exhausted. Polled with a
+  /// relaxed load once per search-loop iteration.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class CaseResult : std::uint8_t {

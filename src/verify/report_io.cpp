@@ -140,7 +140,8 @@ std::string to_json(const Circuit& c, const CheckReport& rep) {
   return j.str();
 }
 
-std::string to_json(const Circuit& c, const SuiteReport& rep) {
+std::string to_json(const Circuit& c, const SuiteReport& rep,
+                    bool include_metrics) {
   Json j;
   j.begin();
   j.key("circuit").value(c.name());
@@ -173,7 +174,9 @@ std::string to_json(const Circuit& c, const SuiteReport& rep) {
     j.end();
   }
   j.end_array();
-  j.key("metrics").raw_value(telemetry::Registry::global().to_json());
+  if (include_metrics) {
+    j.key("metrics").raw_value(telemetry::Registry::global().to_json());
+  }
   j.end();
   return j.str();
 }

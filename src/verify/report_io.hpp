@@ -15,8 +15,12 @@ namespace waveck {
 /// JSON for a single-output check (stages, conclusion, vector, timing).
 [[nodiscard]] std::string to_json(const Circuit& c, const CheckReport& rep);
 
-/// JSON for a circuit-level check.
-[[nodiscard]] std::string to_json(const Circuit& c, const SuiteReport& rep);
+/// JSON for a circuit-level check. `include_metrics` controls the trailing
+/// process-wide registry snapshot; the scheduler determinism tests disable
+/// it to compare serial and parallel suites byte-for-byte (the snapshot is
+/// global state, not a property of the suite).
+[[nodiscard]] std::string to_json(const Circuit& c, const SuiteReport& rep,
+                                  bool include_metrics = true);
 
 /// JSON for the exact-delay search result.
 [[nodiscard]] std::string to_json(const Circuit& c,

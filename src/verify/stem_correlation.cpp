@@ -25,7 +25,7 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
                                             const TimingCheck& check,
                                             std::span<const NetId> stems,
                                             std::size_t max_stems) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = telemetry::Registry::current();
   auto& ctr_stems = reg.counter("stem.stems_processed");
   auto& ctr_one_sided = reg.counter("stem.one_sided");
   auto& ctr_narrowed = reg.counter("stem.domains_narrowed");

@@ -40,6 +40,16 @@ StageStatus aggregate(StageStatus a, StageStatus b) {
 Verifier::Verifier(const Circuit& c, VerifyOptions opt)
     : c_(c), opt_(opt) {}
 
+void Verifier::prepare_shared() {
+  (void)learning();  // the empty LearningResult when learning is disabled
+  if (opt_.use_stem_correlation) (void)reconvergent_stems();
+  if (opt_.use_case_analysis && opt_.case_analysis.use_scoap) (void)scoap();
+}
+
+void Verifier::set_cancel_flag(const std::atomic<bool>* flag) {
+  opt_.case_analysis.cancel = flag;
+}
+
 const LearningResult& Verifier::learning() {
   if (!learning_) {
     learning_ = opt_.use_learning ? learn_implications(c_, opt_.learning)
@@ -110,7 +120,7 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
   // The tallies of the report are registry snapshots: the stages below bump
   // the process-wide counters and this wrapper reads back the deltas, so
   // CheckReport, the metrics snapshot and the trace stream always agree.
-  auto& reg = telemetry::Registry::global();
+  auto& reg = telemetry::Registry::current();
   auto& ctr_backtracks = reg.counter("search.backtracks");
   auto& ctr_decisions = reg.counter("search.decisions");
   auto& ctr_gitd_rounds = reg.counter("gitd.rounds");
@@ -150,7 +160,7 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
 CheckReport Verifier::run_check_stages(
     const Circuit& c, Circuit* mutable_c, NetId s, Time delta,
     const std::vector<AbstractSignal>* input_override) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = telemetry::Registry::current();
   CheckReport rep;
   rep.check = TimingCheck{s, delta};
 
@@ -280,65 +290,90 @@ CheckReport Verifier::run_check_stages(
   return rep;
 }
 
-SuiteReport Verifier::check_circuit(Time delta) {
-  const auto t0 = Clock::now();
-  SuiteReport suite;
-  suite.delta = delta;
-  suite.conclusion = CheckConclusion::kNoViolation;
-
+SuitePlan plan_suite_checks(const Circuit& c, Time delta) {
+  SuitePlan plan;
+  plan.delta = delta;
   // Check outputs worst-arrival first: a violation, if any, is likeliest on
   // the topologically-slowest output.
-  const auto top = topo_arrival(c_);
-  std::vector<NetId> outs = c_.outputs();
-  std::sort(outs.begin(), outs.end(), [&](NetId a, NetId b) {
+  const auto top = topo_arrival(c);
+  plan.order = c.outputs();
+  std::sort(plan.order.begin(), plan.order.end(), [&](NetId a, NetId b) {
     return top[a.index()] > top[b.index()];
   });
-
-  for (NetId s : outs) {
-    if (top[s.index()] < delta) {
-      // STA already proves this output safe; the paper's tool would reach
-      // the same N before G.I.T.D. (no static carriers).
-      CheckReport rep;
-      rep.check = TimingCheck{s, delta};
-      rep.before_gitd = StageStatus::kNoViolation;
-      rep.conclusion = CheckConclusion::kNoViolation;
-      suite.per_output.push_back(std::move(rep));
-      suite.before_gitd =
-          aggregate(suite.before_gitd, StageStatus::kNoViolation);
-      continue;
-    }
-    CheckReport rep = check_output(s, delta);
-    suite.before_gitd = aggregate(suite.before_gitd, rep.before_gitd);
-    suite.after_gitd = aggregate(suite.after_gitd, rep.after_gitd);
-    suite.after_stem = aggregate(suite.after_stem, rep.after_stem);
-    suite.backtracks += rep.backtracks;
-    suite.stage_seconds.narrowing += rep.stage_seconds.narrowing;
-    suite.stage_seconds.gitd += rep.stage_seconds.gitd;
-    suite.stage_seconds.stem += rep.stage_seconds.stem;
-    suite.stage_seconds.case_analysis += rep.stage_seconds.case_analysis;
-
-    if (rep.conclusion == CheckConclusion::kViolation) {
-      suite.conclusion = CheckConclusion::kViolation;
-      suite.vector = rep.vector;
-      suite.violating_output = s;
-      suite.per_output.push_back(std::move(rep));
-      break;  // one witness settles the circuit-level question
-    }
-    if (rep.conclusion == CheckConclusion::kAbandoned &&
-        suite.conclusion != CheckConclusion::kViolation) {
-      suite.conclusion = CheckConclusion::kAbandoned;
-    }
-    if (rep.conclusion == CheckConclusion::kPossible &&
-        suite.conclusion == CheckConclusion::kNoViolation) {
-      suite.conclusion = CheckConclusion::kPossible;
-    }
-    suite.per_output.push_back(std::move(rep));
+  plan.trivial.reserve(plan.order.size());
+  for (NetId s : plan.order) {
+    plan.trivial.push_back(top[s.index()] < delta);
   }
-  suite.seconds = seconds_since(t0);
-  return suite;
+  return plan;
+}
+
+CheckReport sta_trivial_report(NetId s, Time delta) {
+  CheckReport rep;
+  rep.check = TimingCheck{s, delta};
+  rep.before_gitd = StageStatus::kNoViolation;
+  rep.conclusion = CheckConclusion::kNoViolation;
+  return rep;
+}
+
+SuiteMerger::SuiteMerger(Time delta) {
+  suite_.delta = delta;
+  suite_.conclusion = CheckConclusion::kNoViolation;
+}
+
+bool SuiteMerger::add(CheckReport rep) {
+  suite_.before_gitd = aggregate(suite_.before_gitd, rep.before_gitd);
+  suite_.after_gitd = aggregate(suite_.after_gitd, rep.after_gitd);
+  suite_.after_stem = aggregate(suite_.after_stem, rep.after_stem);
+  suite_.backtracks += rep.backtracks;
+  suite_.stage_seconds.narrowing += rep.stage_seconds.narrowing;
+  suite_.stage_seconds.gitd += rep.stage_seconds.gitd;
+  suite_.stage_seconds.stem += rep.stage_seconds.stem;
+  suite_.stage_seconds.case_analysis += rep.stage_seconds.case_analysis;
+
+  if (rep.conclusion == CheckConclusion::kViolation) {
+    // One witness settles the circuit-level question; later outputs are
+    // not part of the suite (serial never visits them).
+    suite_.conclusion = CheckConclusion::kViolation;
+    suite_.vector = rep.vector;
+    suite_.violating_output = rep.check.output;
+    suite_.per_output.push_back(std::move(rep));
+    return false;
+  }
+  if (rep.conclusion == CheckConclusion::kAbandoned) {
+    suite_.conclusion = CheckConclusion::kAbandoned;
+  } else if (rep.conclusion == CheckConclusion::kPossible &&
+             suite_.conclusion == CheckConclusion::kNoViolation) {
+    suite_.conclusion = CheckConclusion::kPossible;
+  }
+  suite_.per_output.push_back(std::move(rep));
+  return true;
+}
+
+SuiteReport SuiteMerger::finish(double seconds) && {
+  suite_.seconds = seconds;
+  return std::move(suite_);
+}
+
+SuiteReport Verifier::check_circuit(Time delta) {
+  const auto t0 = Clock::now();
+  const SuitePlan plan = plan_suite_checks(c_, delta);
+  SuiteMerger merger(delta);
+  for (std::size_t i = 0; i < plan.order.size(); ++i) {
+    CheckReport rep = plan.trivial[i]
+                          ? sta_trivial_report(plan.order[i], delta)
+                          : check_output(plan.order[i], delta);
+    if (!merger.add(std::move(rep))) break;
+  }
+  return std::move(merger).finish(seconds_since(t0));
 }
 
 Verifier::ExactDelayResult Verifier::exact_floating_delay() {
+  return exact_floating_delay(
+      [this](Time delta) { return check_circuit(delta); });
+}
+
+Verifier::ExactDelayResult Verifier::exact_floating_delay(
+    const std::function<SuiteReport(Time)>& probe) {
   ExactDelayResult res;
   res.topological = topological_delay(c_);
   if (res.topological == Time::neg_inf()) return res;
@@ -350,7 +385,7 @@ Verifier::ExactDelayResult Verifier::exact_floating_delay() {
   while (lo < hi) {
     const std::int64_t mid = lo + (hi - lo + 1) / 2;
     ++res.probes;
-    SuiteReport r = check_circuit(Time(mid));
+    SuiteReport r = probe(Time(mid));
     res.total_backtracks += r.backtracks;
     if (r.conclusion == CheckConclusion::kViolation) {
       // Jump: the witness's true settle time is a valid lower bound.
@@ -373,7 +408,7 @@ Verifier::ExactDelayResult Verifier::exact_floating_delay() {
   res.delay = Time(lo);
   if (lo == 0 && !res.witness) {
     // Re-derive the trivial witness at delta = 0 for completeness.
-    SuiteReport r = check_circuit(Time(0));
+    SuiteReport r = probe(Time(0));
     if (r.conclusion == CheckConclusion::kViolation) {
       res.witness = r.vector;
       res.witness_output = r.violating_output;

@@ -7,9 +7,17 @@
 //   4. FAN-based case analysis,
 // recording the paper's Table 1 stage columns (P/N after each stage), the
 // backtrack count, the test vector if one exists, and wall-clock time.
+//
+// Suite checks (one check per primary output) share a fixed plan and merge
+// discipline — plan_suite_checks() + SuiteMerger — used identically by the
+// serial `check_circuit` and the parallel scheduler in src/sched, which is
+// what makes parallel suite reports bit-identical to serial ones (see
+// doc/PARALLELISM.md for the determinism contract).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,7 +63,7 @@ enum class StageStatus : std::uint8_t {
 enum class CheckConclusion : std::uint8_t {
   kNoViolation,  // proved: s cannot transition at/after delta
   kViolation,    // test vector found
-  kAbandoned,    // case-analysis budget exceeded
+  kAbandoned,    // case-analysis budget exceeded (or check cancelled)
   kPossible,     // narrowing says possible; case analysis disabled
 };
 
@@ -82,7 +90,9 @@ struct StageSeconds {
 /// Per-check record. The event tallies (backtracks, decisions, gitd_rounds,
 /// stems_processed, correlated_delay_narrowings) are snapshots of the
 /// telemetry registry counters taken around the check, so they always agree
-/// with the process-wide metrics and the JSONL trace stream.
+/// with the process-wide metrics and the JSONL trace stream. (Under the
+/// parallel scheduler each worker snapshots its own thread registry, so
+/// the tallies stay attributable per check.)
 struct CheckReport {
   TimingCheck check{};
   StageStatus before_gitd = StageStatus::kNotRun;
@@ -115,11 +125,54 @@ struct SuiteReport {
   StageSeconds stage_seconds;  // summed over per_output
 };
 
+/// The fixed per-suite check order and the outputs STA alone dismisses.
+/// Outputs are visited worst-topological-arrival first (a violation, if
+/// any, is likeliest on the slowest output); `trivial[i]` marks outputs
+/// whose arrival is already below delta. Serial and parallel suite runs
+/// share this plan, so "lowest-indexed output" means the same thing in
+/// both.
+struct SuitePlan {
+  Time delta{};
+  std::vector<NetId> order;
+  std::vector<bool> trivial;  // parallel to `order`
+};
+[[nodiscard]] SuitePlan plan_suite_checks(const Circuit& c, Time delta);
+
+/// The report a trivially-safe output gets (STA arrival < delta): N before
+/// G.I.T.D., no stage work. The paper's tool reaches the same N before
+/// G.I.T.D. (no static carriers).
+[[nodiscard]] CheckReport sta_trivial_report(NetId s, Time delta);
+
+/// Order-driven fold of per-output CheckReports into a SuiteReport. Both
+/// the serial `check_circuit` loop and the parallel CheckScheduler merge
+/// through this class, feeding reports strictly in SuitePlan order, so the
+/// aggregate stage statuses, conclusion precedence (V > A > P > N),
+/// backtrack and stage_seconds sums, and the early stop at the first
+/// (lowest-indexed) violating output are identical in both modes.
+class SuiteMerger {
+ public:
+  explicit SuiteMerger(Time delta);
+
+  /// Folds the next report in plan order. Returns false once the suite is
+  /// settled (a violation was absorbed): callers stop feeding — reports
+  /// for later outputs are discarded, exactly like the serial early break.
+  bool add(CheckReport rep);
+
+  [[nodiscard]] SuiteReport finish(double seconds) &&;
+
+ private:
+  SuiteReport suite_;
+};
+
 class Verifier {
  public:
   explicit Verifier(const Circuit& c, VerifyOptions opt = {});
 
   /// Single-output timing check (the paper's verify(xi, s, delta)).
+  ///
+  /// Thread safety: after `prepare_shared()` has returned, concurrent
+  /// calls from multiple threads are safe — every check builds its own
+  /// ConstraintSystem and trail, and the shared analyses are read-only.
   [[nodiscard]] CheckReport check_output(NetId s, Time delta);
 
   /// Two-vector transition-mode check: inputs carry exactly the v1 -> v2
@@ -130,7 +183,8 @@ class Verifier {
                                              const std::vector<bool>& v2);
 
   /// Checks delta against every primary output. Outputs whose topological
-  /// arrival is below delta are trivially N and skipped.
+  /// arrival is below delta are trivially N and skipped. Serial; the
+  /// parallel equivalent is sched::CheckScheduler::check_circuit.
   [[nodiscard]] SuiteReport check_circuit(Time delta);
 
   struct ExactDelayResult {
@@ -145,6 +199,23 @@ class Verifier {
   /// Exact floating-mode circuit delay by adaptive binary search on delta,
   /// using found vectors' simulated settle times to jump the lower bound.
   [[nodiscard]] ExactDelayResult exact_floating_delay();
+  /// Same search with an injected suite probe: the scheduler passes its
+  /// parallel check_circuit here, so serial and parallel searches share
+  /// one probing loop (and, with a deterministic probe, one trajectory).
+  [[nodiscard]] ExactDelayResult exact_floating_delay(
+      const std::function<SuiteReport(Time)>& probe);
+
+  /// Forces every lazily computed shared analysis now (on the calling
+  /// thread), so later `check_output` calls only read them. The parallel
+  /// scheduler calls this once before fanning out workers.
+  void prepare_shared();
+
+  /// Installs (or clears, with nullptr) the cooperative cancellation flag
+  /// polled by the case-analysis search; a cancelled check concludes
+  /// kAbandoned. Used by sched::CheckScheduler's witness-only mode. Do not
+  /// flip while checks are running on other threads unless that is the
+  /// point (the flag itself is an atomic).
+  void set_cancel_flag(const std::atomic<bool>* flag);
 
   [[nodiscard]] const Circuit& circuit() const { return c_; }
   [[nodiscard]] const VerifyOptions& options() const { return opt_; }

@@ -1,0 +1,110 @@
+// Determinism contract (doc/PARALLELISM.md): the parallel CheckScheduler in
+// its default mode must reproduce the serial Verifier::check_circuit
+// byte-for-byte — same conclusion, stage statuses, witness vector,
+// violating output, backtrack totals and per_output list — at every worker
+// count. Wall-clock fields are the only permitted difference, so the tests
+// compare full SuiteReport JSON with the timing fields zeroed.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/circuit.hpp"
+#include "sched/check_scheduler.hpp"
+#include "verify/report_io.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+using sched::CheckScheduler;
+using sched::ScheduleOptions;
+
+constexpr std::size_t kJobCounts[] = {1, 2, 8};
+
+/// Serializes a suite with every wall-clock field zeroed and the global
+/// metrics snapshot excluded, leaving only deterministic content.
+std::string canonical_json(const Circuit& c, SuiteReport rep) {
+  rep.seconds = 0.0;
+  rep.stage_seconds = StageSeconds{};
+  for (auto& out : rep.per_output) {
+    out.seconds = 0.0;
+    out.stage_seconds = StageSeconds{};
+  }
+  return to_json(c, rep, /*include_metrics=*/false);
+}
+
+void expect_parallel_matches_serial(const Circuit& c, VerifyOptions opt,
+                                    Time delta, const char* label) {
+  Verifier serial(c, opt);
+  const std::string want = canonical_json(c, serial.check_circuit(delta));
+  for (const std::size_t jobs : kJobCounts) {
+    CheckScheduler s(c, opt, ScheduleOptions{.jobs = jobs});
+    const std::string got = canonical_json(c, s.check_circuit(delta));
+    EXPECT_EQ(got, want) << label << " delta=" << delta << " jobs=" << jobs;
+  }
+}
+
+TEST(SchedDeterminism, CarrySkipAdderAllDeltas) {
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier probe(c);
+  const auto exact = probe.exact_floating_delay();
+  ASSERT_TRUE(exact.exact);
+  // Witness row (V), proof row (N), and a mid-range delta for good measure.
+  expect_parallel_matches_serial(c, {}, exact.delay, "csa16");
+  expect_parallel_matches_serial(c, {}, exact.delay + 1, "csa16");
+  expect_parallel_matches_serial(c, {}, Time(exact.delay.value() / 2),
+                                 "csa16");
+}
+
+TEST(SchedDeterminism, IscasCircuitBothRows) {
+  // One real ISCAS'85-class circuit from the Table-1 quick suite, with the
+  // suite's own per-circuit verify options (backtrack budget, stems).
+  const auto suite = gen::table1_suite(/*small_only=*/true);
+  ASSERT_FALSE(suite.empty());
+  const auto& entry = suite.back();  // the largest of the quick suite
+  VerifyOptions opt;
+  opt.case_analysis.max_backtracks = entry.max_backtracks;
+  opt.max_stems = 512;
+
+  Verifier probe(entry.circuit, opt);
+  const auto exact = probe.exact_floating_delay();
+  expect_parallel_matches_serial(entry.circuit, opt, exact.delay,
+                                 entry.name.c_str());
+  expect_parallel_matches_serial(entry.circuit, opt, exact.delay + 1,
+                                 entry.name.c_str());
+}
+
+TEST(SchedDeterminism, ExactDelaySearchIdenticalAtEveryJobCount) {
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier serial(c);
+  const auto want = serial.exact_floating_delay();
+  for (const std::size_t jobs : kJobCounts) {
+    CheckScheduler s(c, VerifyOptions{}, ScheduleOptions{.jobs = jobs});
+    const auto got = s.exact_floating_delay();
+    EXPECT_EQ(got.delay, want.delay) << "jobs=" << jobs;
+    EXPECT_EQ(got.exact, want.exact) << "jobs=" << jobs;
+    EXPECT_EQ(got.probes, want.probes) << "jobs=" << jobs;
+    EXPECT_EQ(got.total_backtracks, want.total_backtracks) << "jobs=" << jobs;
+    EXPECT_EQ(got.witness, want.witness) << "jobs=" << jobs;
+  }
+}
+
+TEST(SchedDeterminism, RepeatedParallelRunsAreStable) {
+  // The same scheduler re-used for the same delta must keep producing the
+  // identical report (no cross-batch state leaks through the pool).
+  Circuit c = gen::carry_skip_adder(16, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  CheckScheduler s(c, VerifyOptions{}, ScheduleOptions{.jobs = 8});
+  const std::string first = canonical_json(c, s.check_circuit(Time(200)));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(canonical_json(c, s.check_circuit(Time(200))), first);
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -2,8 +2,8 @@
 //
 // The full command set lives in the kCommands table below; `usage()` is
 // generated from it, so the table is the single source of truth. Global
-// flags (--metrics FILE.json, --trace FILE.jsonl) are stripped from argv
-// before command dispatch and work with every command.
+// flags (--jobs N, --metrics FILE.json, --trace FILE.jsonl) are stripped
+// from argv before command dispatch and work with every command.
 //
 // DELAYS is an annotation file (`net dmin dmax`, `*` = default); without
 // one every gate gets the paper's delay of 10.
@@ -23,6 +23,7 @@
 #include "netlist/delay_annotation.hpp"
 #include "netlist/transforms.hpp"
 #include "netlist/verilog_io.hpp"
+#include "sched/check_scheduler.hpp"
 #include "sim/floating_sim.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/transition_sim.hpp"
@@ -34,6 +35,10 @@
 namespace {
 
 using namespace waveck;
+
+/// Worker threads for the suite/exact-delay commands (global --jobs flag).
+/// 0 = one per hardware thread; 1 = serial (no pool).
+std::size_t g_jobs = 0;
 
 /// One row of the command set; usage() and the file's header comment derive
 /// from this table, so adding a command means adding a row here.
@@ -58,7 +63,7 @@ constexpr CommandSpec kCommands[] = {
 };
 
 int usage() {
-  std::cerr << "usage: waveck <command> [--metrics FILE.json] "
+  std::cerr << "usage: waveck <command> [--jobs N] [--metrics FILE.json] "
                "[--trace FILE.jsonl] [args]\n";
   for (const auto& cmd : kCommands) {
     std::cerr << "  " << std::left << std::setw(8) << cmd.name
@@ -69,6 +74,9 @@ int usage() {
       "wallace8\n"
       "FILE may be ISCAS `.bench` or structural Verilog `.v`.\n"
       "global flags (any command):\n"
+      "  --jobs N              worker threads for suite verification and the\n"
+      "                        exact-delay search (0 = one per hardware\n"
+      "                        thread, the default; 1 = serial)\n"
       "  --metrics FILE.json   write the telemetry registry snapshot on exit\n"
       "  --trace FILE.jsonl    stream JSONL engine events (propagate,\n"
       "                        decision, backtrack, stem, gitd_round, ...)\n";
@@ -126,7 +134,8 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
     }
     return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
   }
-  const auto rep = v.check_circuit(delta);
+  sched::CheckScheduler s(v, {.jobs = g_jobs});
+  const auto rep = s.check_circuit(delta);
   std::cout << "check (all outputs, " << delta
             << "): " << to_string(rep.conclusion) << "  [" << rep.backtracks
             << " backtracks, " << std::fixed << std::setprecision(3)
@@ -140,7 +149,8 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
 
 int cmd_delay(const Circuit& c) {
   Verifier v(c);
-  const auto res = v.exact_floating_delay();
+  sched::CheckScheduler s(v, {.jobs = g_jobs});
+  const auto res = s.exact_floating_delay();
   std::cout << "topological delay: " << res.topological << "\n";
   std::cout << (res.exact ? "exact floating delay: "
                           : "floating delay bound (search abandoned): ")
@@ -195,7 +205,8 @@ int cmd_learn(const Circuit& c) {
 
 int cmd_path(const Circuit& c) {
   Verifier v(c);
-  const auto res = v.exact_floating_delay();
+  sched::CheckScheduler s(v, {.jobs = g_jobs});
+  const auto res = s.exact_floating_delay();
   std::cout << "exact floating delay: " << res.delay
             << " (topological " << res.topological << ")\n";
   if (!res.witness || !res.witness_output) {
@@ -236,7 +247,8 @@ int cmd_mc(const Circuit& c, std::size_t samples) {
 
 int cmd_json(const Circuit& c) {
   Verifier v(c);
-  std::cout << to_json(c, v.exact_floating_delay()) << "\n";
+  sched::CheckScheduler s(v, {.jobs = g_jobs});
+  std::cout << to_json(c, s.exact_floating_delay()) << "\n";
   return 0;
 }
 
@@ -346,6 +358,17 @@ int main(int argc, char** argv) {
         return usage();
       }
       (a == "--metrics" ? metrics_path : trace_path) = argv[++i];
+    } else if (a == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs needs a thread count\n";
+        return usage();
+      }
+      try {
+        g_jobs = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "error: --jobs needs a number, got " << argv[i] << "\n";
+        return usage();
+      }
     } else {
       args.push_back(a);
     }

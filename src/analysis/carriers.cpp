@@ -88,11 +88,16 @@ std::vector<NetId> timing_dominators(const Circuit& c,
     if (carriers.is_carrier(in) && in != s) verts.push_back(in);
   }
   // `s` must be the source (index 0); it is first among driven nets, but if
-  // s is itself a primary input move it to the front.
+  // s is itself a primary input (a circuit can declare an input as an
+  // output, and the fuzz shrinker produces such netlists) it was excluded
+  // from both collection loops above and has to be inserted here.
   if (verts.empty() || verts.front() != s) {
     const auto it = std::find(verts.begin(), verts.end(), s);
-    assert(it != verts.end());
-    std::rotate(verts.begin(), it, it + 1);
+    if (it == verts.end()) {
+      verts.insert(verts.begin(), s);
+    } else {
+      std::rotate(verts.begin(), it, it + 1);
+    }
   }
 
   const std::size_t n_verts = verts.size() + 1;  // + T

@@ -1,0 +1,85 @@
+// Seed-driven differential fuzzing engine.
+//
+// One run = derive a per-run seed from (base seed, run index), generate a
+// structure-aware random circuit for the active profile, run the
+// differential battery, and on any failing property shrink the circuit
+// against that property and (optionally) emit a minimal repro —
+// `.bench` + `.delays` + a `.repro` metadata file — into the corpus
+// directory, where corpus_replay_test picks it up as a permanent
+// regression test.
+//
+// Determinism contract: with the same FuzzConfig the engine makes
+// bit-identical decisions — circuits, verdicts, shrink trajectories, file
+// contents. Wall-clock enters only through `time_budget_seconds` (which can
+// stop a run earlier on a slower machine) and the timing metrics. The
+// engine detaches the trace sink around its internal battery/shrinker
+// probes (their scheduler workers race for checks, so their event streams
+// are not reproducible), leaving only the engine's own fuzz_* events —
+// which carry no timing fields beyond the sink's "t" stamp, so two
+// same-seed campaigns produce byte-identical telemetry modulo timestamps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/shrink.hpp"
+#include "gen/generators.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck::fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;
+  /// Stop starting new runs after this much wall time (0 = no budget).
+  double time_budget_seconds = 0;
+  /// Generator profile; see known_profiles().
+  std::string profile = "mixed";
+  /// Where shrunk repros are written; empty = keep them in memory only.
+  std::string corpus_dir;
+  BatteryOptions battery;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Stop the whole campaign after this many failures.
+  std::size_t max_failures = 25;
+};
+
+struct FuzzFailure {
+  std::size_t run = 0;
+  std::uint64_t derived_seed = 0;
+  Property property{};
+  std::string details;
+  Circuit shrunk;          // == original circuit when shrinking is off
+  std::size_t gates_before = 0;
+  std::string bench_path;  // empty when corpus_dir is empty
+};
+
+struct FuzzSummary {
+  std::size_t runs_executed = 0;
+  std::size_t properties_checked = 0;
+  std::size_t properties_skipped = 0;
+  std::vector<FuzzFailure> failures;
+  bool time_budget_hit = false;
+  double seconds = 0;
+};
+
+[[nodiscard]] const std::vector<std::string>& known_profiles();
+
+/// The generator configuration run `run` of a campaign uses (exposed so
+/// tests and the corpus metadata can reproduce a single run exactly).
+[[nodiscard]] gen::StructuredCircuitConfig profile_config(
+    const std::string& profile, std::uint64_t base_seed, std::size_t run);
+
+[[nodiscard]] FuzzSummary run_fuzz(const FuzzConfig& cfg);
+
+/// Shared CLI driver behind `tools/waveck_fuzz` and `waveck fuzz`.
+/// Flags: --seed N --runs N --time-budget SEC --profile NAME
+/// --corpus-dir DIR --jobs N --max-inputs N --no-shrink --list-profiles.
+/// Returns 0 (clean), 1 (failures found), 2 (usage error).
+int fuzz_cli_main(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace waveck::fuzz

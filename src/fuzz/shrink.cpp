@@ -1,0 +1,267 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace waveck::fuzz {
+namespace {
+
+/// Name-keyed editable view of a circuit. Gates are kept in topological
+/// order, so every edit below (which only ever rewires a net to one of its
+/// topological ancestors) stays acyclic by construction.
+struct EGate {
+  GateType type;
+  DelaySpec delay;
+  std::string out;
+  std::vector<std::string> ins;
+};
+
+struct ENetlist {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<EGate> gates;
+};
+
+ENetlist to_editable(const Circuit& c) {
+  ENetlist e;
+  e.name = c.name();
+  for (NetId n : c.inputs()) e.inputs.push_back(c.net(n).name);
+  for (NetId n : c.outputs()) e.outputs.push_back(c.net(n).name);
+  for (GateId g : c.topo_order()) {
+    const Gate& gate = c.gate(g);
+    EGate eg{gate.type, gate.delay, c.net(gate.out).name, {}};
+    for (NetId in : gate.ins) eg.ins.push_back(c.net(in).name);
+    e.gates.push_back(std::move(eg));
+  }
+  return e;
+}
+
+/// Throws CircuitError on structurally invalid candidates; callers reject.
+Circuit build(const ENetlist& e) {
+  Circuit c(e.name);
+  for (const std::string& in : e.inputs) {
+    c.declare_input(c.net_by_name_or_add(in));
+  }
+  for (const EGate& g : e.gates) {
+    std::vector<NetId> ins;
+    ins.reserve(g.ins.size());
+    for (const std::string& in : g.ins) {
+      ins.push_back(c.net_by_name_or_add(in));
+    }
+    c.add_gate(g.type, c.net_by_name_or_add(g.out), std::move(ins), g.delay);
+  }
+  for (const std::string& out : e.outputs) {
+    c.declare_output(c.net_by_name_or_add(out));
+  }
+  c.finalize();
+  return c;
+}
+
+/// Dead-logic elimination: keep only gates in the transitive fanin of an
+/// output, inputs that still feed something (or are outputs themselves),
+/// and outputs that still exist.
+void prune_dead(ENetlist& e) {
+  std::unordered_map<std::string, std::size_t> driver;
+  for (std::size_t i = 0; i < e.gates.size(); ++i) driver[e.gates[i].out] = i;
+
+  std::unordered_set<std::string> input_set(e.inputs.begin(), e.inputs.end());
+  // Outputs must name a live net (an input or a driven net).
+  std::vector<std::string> outputs;
+  std::unordered_set<std::string> seen_out;
+  for (const std::string& o : e.outputs) {
+    if ((driver.count(o) || input_set.count(o)) && seen_out.insert(o).second) {
+      outputs.push_back(o);
+    }
+  }
+  e.outputs = std::move(outputs);
+
+  std::unordered_set<std::string> live;
+  std::vector<std::string> work(e.outputs.begin(), e.outputs.end());
+  while (!work.empty()) {
+    const std::string n = std::move(work.back());
+    work.pop_back();
+    if (!live.insert(n).second) continue;
+    const auto it = driver.find(n);
+    if (it == driver.end()) continue;
+    for (const std::string& in : e.gates[it->second].ins) work.push_back(in);
+  }
+
+  std::vector<EGate> gates;
+  gates.reserve(e.gates.size());
+  for (EGate& g : e.gates) {
+    if (live.count(g.out)) gates.push_back(std::move(g));
+  }
+  e.gates = std::move(gates);
+
+  std::vector<std::string> inputs;
+  for (const std::string& in : e.inputs) {
+    if (live.count(in)) inputs.push_back(in);
+  }
+  // A circuit needs at least one input to have any vectors at all.
+  if (inputs.empty() && !e.inputs.empty()) inputs.push_back(e.inputs.front());
+  e.inputs = std::move(inputs);
+}
+
+void replace_reads(ENetlist& e, const std::string& from,
+                   const std::string& to) {
+  for (EGate& g : e.gates) {
+    for (std::string& in : g.ins) {
+      if (in == from) in = to;
+    }
+  }
+  for (std::string& o : e.outputs) {
+    if (o == from) o = to;
+  }
+}
+
+class Shrinker {
+ public:
+  Shrinker(ENetlist start, const StillFails& pred, const ShrinkOptions& opt)
+      : best_(std::move(start)), pred_(pred), opt_(opt) {}
+
+  /// Tests a candidate; on success adopts it as the new best.
+  bool try_adopt(ENetlist cand) {
+    if (evals_ >= opt_.max_evals) {
+      hit_budget_ = true;
+      return false;
+    }
+    ++evals_;
+    try {
+      const Circuit c = build(cand);
+      if (!pred_(c)) return false;
+    } catch (const std::exception&) {
+      return false;  // structurally unusable or predicate blew up: reject
+    }
+    best_ = std::move(cand);
+    ++accepted_;
+    return true;
+  }
+
+  bool pass() {
+    const std::size_t before = accepted_;
+    reduce_outputs();
+    reduce_gates();
+    reduce_fanin();
+    merge_inputs();
+    reduce_delays();
+    return accepted_ != before;
+  }
+
+  [[nodiscard]] ShrinkResult finish() && {
+    ShrinkResult r{build(best_), evals_, accepted_, hit_budget_};
+    return r;
+  }
+
+  [[nodiscard]] bool hit_budget() const { return hit_budget_; }
+
+ private:
+  void reduce_outputs() {
+    for (std::size_t i = best_.outputs.size(); i-- > 0;) {
+      if (best_.outputs.size() <= 1) break;
+      ENetlist cand = best_;
+      cand.outputs.erase(cand.outputs.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      prune_dead(cand);
+      try_adopt(std::move(cand));
+    }
+  }
+
+  /// Bypass: delete gate g and rewire its readers to one of its inputs
+  /// (d0 for a MUX, the first input otherwise).
+  void reduce_gates() {
+    for (std::size_t i = best_.gates.size(); i-- > 0;) {
+      if (i >= best_.gates.size()) continue;  // vector shrank under us
+      ENetlist cand = best_;
+      const EGate g = cand.gates[i];
+      const std::string& repl =
+          g.type == GateType::kMux ? g.ins[1] : g.ins[0];
+      cand.gates.erase(cand.gates.begin() + static_cast<std::ptrdiff_t>(i));
+      replace_reads(cand, g.out, repl);
+      prune_dead(cand);
+      try_adopt(std::move(cand));
+    }
+  }
+
+  /// Narrow a wide gate by dropping one input.
+  void reduce_fanin() {
+    for (std::size_t i = best_.gates.size(); i-- > 0;) {
+      if (i >= best_.gates.size()) continue;
+      if (best_.gates[i].ins.size() <= 2 ||
+          best_.gates[i].type == GateType::kMux) {
+        continue;
+      }
+      for (std::size_t k = best_.gates[i].ins.size(); k-- > 0;) {
+        if (i >= best_.gates.size() || best_.gates[i].ins.size() <= 2) break;
+        ENetlist cand = best_;
+        cand.gates[i].ins.erase(cand.gates[i].ins.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+        prune_dead(cand);
+        try_adopt(std::move(cand));
+      }
+    }
+  }
+
+  /// Merge primary inputs: fewer inputs halve the oracle's replay cost and
+  /// shorten the repro vector.
+  void merge_inputs() {
+    for (std::size_t i = best_.inputs.size(); i-- > 1;) {
+      if (i >= best_.inputs.size()) continue;
+      ENetlist cand = best_;
+      const std::string victim = cand.inputs[i];
+      cand.inputs.erase(cand.inputs.begin() + static_cast<std::ptrdiff_t>(i));
+      replace_reads(cand, victim, cand.inputs.front());
+      prune_dead(cand);
+      try_adopt(std::move(cand));
+    }
+  }
+
+  /// Simplify delay annotations: zero first, unit second, collapse
+  /// intervals to their dmax third.
+  void reduce_delays() {
+    for (std::size_t i = 0; i < best_.gates.size(); ++i) {
+      const DelaySpec d = best_.gates[i].delay;
+      if (d == DelaySpec::fixed(0)) continue;
+      for (const DelaySpec repl :
+           {DelaySpec::fixed(0), DelaySpec::fixed(1),
+            DelaySpec::fixed(d.dmax)}) {
+        if (best_.gates[i].delay == repl) break;
+        ENetlist cand = best_;
+        cand.gates[i].delay = repl;
+        if (try_adopt(std::move(cand))) break;
+      }
+    }
+  }
+
+  ENetlist best_;
+  const StillFails& pred_;
+  const ShrinkOptions& opt_;
+  std::size_t evals_ = 0;
+  std::size_t accepted_ = 0;
+  bool hit_budget_ = false;
+};
+
+}  // namespace
+
+ShrinkResult shrink_circuit(const Circuit& c, const StillFails& still_fails,
+                            const ShrinkOptions& opt) {
+  bool fails = false;
+  try {
+    fails = still_fails(c);
+  } catch (const std::exception&) {
+    fails = false;
+  }
+  if (!fails) {
+    return {Circuit(c), 1, 0, false};
+  }
+  Shrinker s(to_editable(c), still_fails, opt);
+  for (unsigned round = 0; round < opt.max_rounds; ++round) {
+    if (!s.pass() || s.hit_budget()) break;
+  }
+  return std::move(s).finish();
+}
+
+}  // namespace waveck::fuzz

@@ -1,0 +1,45 @@
+// Automatic witness shrinking: greedy delta-debugging over a failing
+// circuit. Given a predicate "this circuit still fails the discriminating
+// property", the shrinker tries structural reductions (drop an output,
+// bypass a gate, narrow a gate's fanin, simplify a delay), keeps every
+// reduction that preserves the failure, and garbage-collects dead logic
+// after each acceptance — driving a fuzz-sized circuit down to a repro
+// small enough to debug by hand (and cheap enough to replay in CI forever).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck::fuzz {
+
+/// Returns true while the candidate circuit still exhibits the failure.
+/// Must be deterministic; exceptions thrown by the predicate are treated as
+/// "candidate unusable" (the reduction is rejected), so a predicate built
+/// on the battery can simply re-run its property.
+using StillFails = std::function<bool(const Circuit&)>;
+
+struct ShrinkOptions {
+  /// Full passes over the reduction kinds; each pass retries everything
+  /// because earlier acceptances unlock later ones. The loop also stops at
+  /// the first pass that accepts nothing.
+  unsigned max_rounds = 8;
+  /// Hard cap on predicate evaluations (each runs the battery property).
+  std::size_t max_evals = 4000;
+};
+
+struct ShrinkResult {
+  Circuit circuit;              // smallest failing circuit found
+  std::size_t evals = 0;        // predicate evaluations spent
+  std::size_t accepted = 0;     // reductions kept
+  bool hit_eval_budget = false;
+};
+
+/// Precondition: `still_fails(c)` is true (the caller observed the
+/// failure); if it is not, the input is returned unchanged.
+[[nodiscard]] ShrinkResult shrink_circuit(const Circuit& c,
+                                          const StillFails& still_fails,
+                                          const ShrinkOptions& opt = {});
+
+}  // namespace waveck::fuzz

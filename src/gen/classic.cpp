@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gen/generators.hpp"
+#include "gen/rng.hpp"
 
 namespace waveck::gen {
 
@@ -82,23 +83,6 @@ Circuit parity_tree(unsigned inputs) {
   c.finalize();
   return c;
 }
-
-namespace {
-
-/// xorshift64* -- deterministic, seedable, no <random> variability.
-struct Rng {
-  std::uint64_t state;
-  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15) {}
-  std::uint64_t next() {
-    state ^= state >> 12;
-    state ^= state << 25;
-    state ^= state >> 27;
-    return state * 0x2545f4914f6cdd1d;
-  }
-  std::uint64_t below(std::uint64_t n) { return next() % n; }
-};
-
-}  // namespace
 
 Circuit random_circuit(const RandomCircuitConfig& cfg) {
   Rng rng(cfg.seed);

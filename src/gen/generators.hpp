@@ -127,4 +127,43 @@ struct RandomCircuitConfig {
 };
 [[nodiscard]] Circuit random_circuit(const RandomCircuitConfig& cfg);
 
+/// Structure-aware random circuit generator (the differential fuzzer's
+/// workhorse; see doc/TESTING.md). Unlike `random_circuit` it controls the
+/// *shape* of the DAG, which is what the verifier's stages actually key on:
+///  * a weighted gate mix (skew toward AND/OR for controlling-value-heavy
+///    circuits, toward XOR for narrowing-resistant ones),
+///  * reconvergence-rich fanout: input selection is biased toward a recent
+///    window of nets, so stems with multiple converging branches — the
+///    stem-correlation and dominator stages' subject matter — are common
+///    rather than coincidental,
+///  * injected false-path idioms (`append_false_path_block` kinds round-
+///    robin), so the generated circuits exercise the same machinery the
+///    paper's Table-1 circuits do,
+///  * randomized per-gate delay annotation in [1, delay_max] (optionally
+///    proper intervals with dmin < dmax).
+/// Same config => same circuit, bit for bit.
+struct StructuredCircuitConfig {
+  unsigned inputs = 8;
+  unsigned gates = 36;
+  unsigned outputs = 4;
+  std::uint64_t seed = 1;
+  /// Gate-mix weights (relative; a zero weight removes the type).
+  unsigned w_and = 4, w_or = 4, w_nand = 3, w_nor = 3;
+  unsigned w_xor = 2, w_xnor = 1, w_not = 2, w_buf = 1, w_mux = 0;
+  /// Percent chance a gate input is drawn from the `recent_window` newest
+  /// nets instead of uniformly — high values give deep, reconvergent DAGs.
+  unsigned reconvergence_percent = 60;
+  unsigned recent_window = 6;
+  /// False-path blocks appended after the core DAG (kinds cycle through
+  /// kLocalChain / kDominatorDiamond / kStemContradiction).
+  unsigned false_path_blocks = 0;
+  unsigned false_path_stages = 6;
+  /// Per-gate dmax is uniform in [1, delay_max]; with `delay_intervals`
+  /// dmin is uniform in [0, dmax] instead of dmin == dmax.
+  std::int64_t delay_max = 10;
+  bool delay_intervals = false;
+};
+[[nodiscard]] Circuit structured_random_circuit(
+    const StructuredCircuitConfig& cfg);
+
 }  // namespace waveck::gen

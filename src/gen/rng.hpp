@@ -1,0 +1,35 @@
+// Deterministic PRNG shared by the circuit generators and the fuzzing
+// engine. xorshift64* on purpose: seedable, portable across standard
+// libraries (<random> distributions are implementation-defined), and cheap
+// enough to re-derive per-run streams by mixing a base seed with a counter.
+#pragma once
+
+#include <cstdint>
+
+namespace waveck::gen {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1d;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  /// True with probability `percent`/100.
+  bool chance(unsigned percent) { return below(100) < percent; }
+};
+
+/// SplitMix64 step: derives an independent stream seed from (seed, index)
+/// so every fuzz run gets its own reproducible Rng.
+[[nodiscard]] inline std::uint64_t mix_seed(std::uint64_t seed,
+                                            std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15 * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111eb;
+  return z ^ (z >> 31);
+}
+
+}  // namespace waveck::gen

@@ -212,6 +212,35 @@ Circuit map_to_nor(const Circuit& c) {
   return rb.finish();
 }
 
+Circuit insert_buffers(const Circuit& c, const std::vector<NetId>& nets) {
+  std::vector<bool> selected(c.num_nets(), false);
+  for (NetId n : nets) {
+    if (n.index() < c.num_nets()) selected[n.index()] = true;
+  }
+  Rebuilder rb(c, "__buf");
+  // Read-side alias: fanout gates of a selected net read its buffered copy;
+  // the original net keeps its driver and any primary-output declaration.
+  std::vector<NetId> alias(c.num_nets());
+  for (NetId n : c.all_nets()) alias[n.index()] = rb.mapped(n);
+  const auto buffer_now = [&](NetId src) {
+    const NetId b = rb.fresh_net();
+    rb.emit(GateType::kBuf, b, {rb.mapped(src)}, DelaySpec{});
+    alias[src.index()] = b;
+  };
+  for (NetId in : c.inputs()) {
+    if (selected[in.index()]) buffer_now(in);
+  }
+  for (GateId gid : c.topo_order()) {
+    const Gate& g = c.gate(gid);
+    std::vector<NetId> ins;
+    ins.reserve(g.ins.size());
+    for (NetId i : g.ins) ins.push_back(alias[i.index()]);
+    rb.emit(g.type, rb.mapped(g.out), std::move(ins), g.delay);
+    if (selected[g.out.index()]) buffer_now(g.out);
+  }
+  return rb.finish();
+}
+
 std::size_t GateHistogram::total() const {
   std::size_t t = 0;
   for (auto c : count) t += c;

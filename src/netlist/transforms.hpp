@@ -34,6 +34,17 @@ struct DecomposeOptions {
 /// `set_uniform_delay(DelaySpec::fixed(10))`.
 [[nodiscard]] Circuit map_to_nor(const Circuit& c);
 
+/// Inserts a zero-delay BUF after each net in `nets` and rewires that net's
+/// *gate fanouts* to read the buffered copy (primary-output declarations
+/// stay on the original net, so the interface is unchanged). Identity
+/// function + zero delay means the transform preserves both the Boolean
+/// function and every floating-mode settle time exactly — the differential
+/// fuzzer uses it as a semantics-preserving mutation that any analysis must
+/// be invariant under. Requests naming nonexistent nets are ignored;
+/// duplicates insert a single buffer.
+[[nodiscard]] Circuit insert_buffers(const Circuit& c,
+                                     const std::vector<NetId>& nets);
+
 /// Gate-count statistics helper.
 struct GateHistogram {
   std::array<std::size_t, 10> count{};

@@ -60,11 +60,11 @@ namespace {
 template <class Visit>
 void for_each_vector(const Circuit& c, unsigned max_inputs, Visit visit) {
   const std::size_t n = c.inputs().size();
-  if (n > max_inputs) {
-    throw std::invalid_argument(
-        "exhaustive floating-delay oracle limited to " +
-        std::to_string(max_inputs) + " inputs; circuit has " +
-        std::to_string(n));
+  if (n > max_inputs || n >= 63) {
+    // n >= 63 would overflow the vector-count shift below even if the
+    // caller raised max_inputs — an impossible enumeration either way, so
+    // diagnose rather than wrap silently.
+    throw OracleLimitError(c.name(), n, n > max_inputs ? max_inputs : 62);
   }
   std::vector<bool> v(n, false);
   const std::uint64_t total = std::uint64_t{1} << n;

@@ -12,12 +12,40 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/time.hpp"
 #include "netlist/circuit.hpp"
 
 namespace waveck {
+
+/// Thrown when an exhaustive-oracle query would enumerate more than
+/// 2^max_inputs vectors. Deliberately loud: silently clamping (or sampling)
+/// would turn the ground-truth oracle into a lower bound and make every
+/// differential check built on it unsound. Callers that can tolerate a
+/// partial answer must choose that explicitly (e.g. Monte-Carlo in
+/// sim/monte_carlo.hpp).
+class OracleLimitError : public std::invalid_argument {
+ public:
+  OracleLimitError(const std::string& circuit, std::size_t inputs,
+                   unsigned limit)
+      : std::invalid_argument(
+            "exhaustive floating-delay oracle on '" + circuit + "': " +
+            std::to_string(inputs) + " primary inputs exceed the " +
+            std::to_string(limit) +
+            "-input enumeration limit (2^n vectors); raise max_inputs "
+            "explicitly or use the Monte-Carlo bound instead"),
+        inputs_(inputs),
+        limit_(limit) {}
+  [[nodiscard]] std::size_t inputs() const { return inputs_; }
+  [[nodiscard]] unsigned limit() const { return limit_; }
+
+ private:
+  std::size_t inputs_;
+  unsigned limit_;
+};
 
 struct FloatingResult {
   std::vector<bool> value;   // final value per net (indexed by NetId)

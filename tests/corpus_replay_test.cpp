@@ -1,0 +1,95 @@
+// Replays every shrunk fuzzing repro in tests/corpus/ through the full
+// differential battery. Each corpus entry is a minimal circuit that once
+// discriminated a real bug (see its .repro sidecar for the original
+// failure); replaying them keeps those bugs fixed forever. New entries are
+// added automatically by `waveck_fuzz --corpus-dir tests/corpus` on any
+// failure, or by hand for interesting netlists — this test picks up
+// whatever *.bench files are present, applying the matching *.delays.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/differential.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/delay_annotation.hpp"
+
+namespace waveck {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_entries() {
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(WAVECK_CORPUS_DIR)) {
+    if (e.path().extension() == ".bench") entries.push_back(e.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+Circuit load_entry(const fs::path& bench) {
+  Circuit c = read_bench_file(bench.string());
+  c.set_name(bench.stem().string());
+  const fs::path delays = fs::path(bench).replace_extension(".delays");
+  if (fs::exists(delays)) read_delays_file(delays.string(), c);
+  return c;
+}
+
+TEST(CorpusReplay, CorpusIsSeeded) {
+  ASSERT_TRUE(fs::is_directory(WAVECK_CORPUS_DIR))
+      << "missing corpus directory " << WAVECK_CORPUS_DIR;
+  EXPECT_FALSE(corpus_entries().empty())
+      << "tests/corpus/ has no .bench entries";
+}
+
+TEST(CorpusReplay, EveryEntryPassesTheFullBattery) {
+  for (const fs::path& bench : corpus_entries()) {
+    SCOPED_TRACE(bench.filename().string());
+    Circuit c;
+    ASSERT_NO_THROW(c = load_entry(bench)) << bench;
+    const auto result = fuzz::run_battery(c);
+    for (const auto& pr : result.results) {
+      EXPECT_TRUE(pr.ok) << bench.filename().string() << ": "
+                         << to_string(pr.property) << ": " << pr.details;
+    }
+  }
+}
+
+TEST(CorpusReplay, EntriesAreMinimal) {
+  // Corpus repros come out of the shrinker; anything large suggests a repro
+  // was committed unshrunk and will slow this test forever after.
+  for (const fs::path& bench : corpus_entries()) {
+    const Circuit c = load_entry(bench);
+    EXPECT_LE(c.num_gates(), 64u) << bench.filename().string();
+    EXPECT_LE(c.inputs().size(), 14u) << bench.filename().string();
+  }
+}
+
+TEST(CorpusReplay, ReproSidecarsNameKnownProperties) {
+  for (const fs::path& bench : corpus_entries()) {
+    const fs::path repro = fs::path(bench).replace_extension(".repro");
+    if (!fs::exists(repro)) continue;  // hand-added entries need no sidecar
+    std::ifstream in(repro);
+    std::string line;
+    bool found = false;
+    while (std::getline(in, line)) {
+      constexpr std::string_view kKey = "property: ";
+      if (line.rfind(kKey, 0) == 0) {
+        fuzz::Property p{};
+        EXPECT_TRUE(
+            fuzz::property_from_string(line.substr(kKey.size()), &p))
+            << repro.filename().string() << ": " << line;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << repro.filename().string()
+                       << " has no 'property:' line";
+  }
+}
+
+}  // namespace
+}  // namespace waveck

@@ -133,5 +133,88 @@ TEST_P(StagesSoundness, NoFalseNegativeProofs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StagesSoundness,
                          ::testing::Range<std::uint64_t>(1, 11));
 
+/// Cross-check the two witness producers against each other: the oracle's
+/// find_violating_vector and the verifier's case-analysis vectors must both
+/// replay through simulate_floating to settle times consistent with the
+/// per-output exact delay, and must agree on *when* a witness exists.
+class WitnessCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessCrossCheck, OracleAndVerifierWitnessesAgree) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 18;
+  cfg.outputs = 3;
+  cfg.seed = GetParam() * 263 + 17;
+  const Circuit c = gen::random_circuit(cfg);
+  Verifier v(c);
+
+  const auto settle_of = [&](NetId s, const std::vector<bool>& vec) {
+    return simulate_floating(c, vec).settle[s.index()];
+  };
+
+  for (NetId s : c.outputs()) {
+    const Time exact = exhaustive_floating_delay(c, s);
+
+    // At delta == exact a violating vector exists; its replayed settle must
+    // reach delta (find_violating_vector's contract, checked independently).
+    const auto at = find_violating_vector(c, s, exact);
+    ASSERT_TRUE(at.has_value()) << "seed " << cfg.seed;
+    EXPECT_GE(settle_of(s, *at), exact) << "seed " << cfg.seed;
+
+    // Above exact there is none, and the verifier must agree with N.
+    const Time above = exact + 1;
+    EXPECT_FALSE(find_violating_vector(c, s, above).has_value())
+        << "seed " << cfg.seed;
+    const auto rep_above = v.check_output(s, above);
+    EXPECT_EQ(rep_above.conclusion, CheckConclusion::kNoViolation)
+        << "seed " << cfg.seed;
+
+    // The verifier's own witness at delta == exact must replay to a settle
+    // time >= delta on this output — i.e. be exactly as good as the
+    // oracle's, not just "a vector".
+    const auto rep_at = v.check_output(s, exact);
+    ASSERT_EQ(rep_at.conclusion, CheckConclusion::kViolation)
+        << "seed " << cfg.seed;
+    ASSERT_TRUE(rep_at.vector.has_value()) << "seed " << cfg.seed;
+    EXPECT_GE(settle_of(s, *rep_at.vector), exact) << "seed " << cfg.seed;
+  }
+}
+
+TEST_P(WitnessCrossCheck, ExactDelaySearchWitnessMatchesOracleWitness) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 16;
+  cfg.outputs = 2;
+  cfg.seed = GetParam() * 431 + 29;
+  const Circuit c = gen::random_circuit(cfg);
+  Verifier v(c);
+  const auto res = v.exact_floating_delay();
+  ASSERT_TRUE(res.exact) << "seed " << cfg.seed;
+  ASSERT_TRUE(res.witness.has_value()) << "seed " << cfg.seed;
+  ASSERT_TRUE(res.witness_output.has_value()) << "seed " << cfg.seed;
+
+  // The search's witness settles at exactly the claimed delay on the
+  // claimed output...
+  const auto sim = simulate_floating(c, *res.witness);
+  EXPECT_EQ(sim.settle[res.witness_output->index()], res.delay)
+      << "seed " << cfg.seed;
+
+  // ...and the oracle can independently produce a witness at least as slow
+  // on that same output, but none slower anywhere.
+  const auto oracle_vec =
+      find_violating_vector(c, *res.witness_output, res.delay);
+  ASSERT_TRUE(oracle_vec.has_value()) << "seed " << cfg.seed;
+  const auto oracle_sim = simulate_floating(c, *oracle_vec);
+  EXPECT_GE(oracle_sim.settle[res.witness_output->index()], res.delay)
+      << "seed " << cfg.seed;
+  for (NetId s : c.outputs()) {
+    EXPECT_FALSE(find_violating_vector(c, s, res.delay + 1).has_value())
+        << "seed " << cfg.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
 }  // namespace
 }  // namespace waveck

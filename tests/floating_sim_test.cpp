@@ -147,7 +147,43 @@ TEST(FloatingSim, RippleAdderSumsCorrectly) {
 
 TEST(FloatingSim, InputLimitGuard) {
   const Circuit c = gen::carry_skip_adder(16, 4);  // 33 inputs
-  EXPECT_THROW(exhaustive_floating_delay(c, 20), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(exhaustive_floating_delay(c, 20)),
+               std::invalid_argument);
+}
+
+TEST(FloatingSim, OracleLimitErrorIsLoudAndDiagnostic) {
+  const Circuit c = gen::carry_skip_adder(16, 4);  // 33 inputs
+  try {
+    (void)exhaustive_floating_delay(c, 20);
+    FAIL() << "expected OracleLimitError";
+  } catch (const OracleLimitError& e) {
+    EXPECT_EQ(e.inputs(), c.inputs().size());
+    EXPECT_EQ(e.limit(), 20u);
+    const std::string msg = e.what();
+    // The message must carry the numbers and a remedy, not just "too big".
+    EXPECT_NE(msg.find(c.name()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("33"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("20"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Monte-Carlo"), std::string::npos) << msg;
+  }
+  // The same guard protects the other oracle entry points.
+  EXPECT_THROW((void)exhaustive_floating_delay(c, c.outputs().front(), 20),
+               OracleLimitError);
+  EXPECT_THROW((void)find_violating_vector(c, c.outputs().front(), Time(1), 20),
+               OracleLimitError);
+}
+
+TEST(FloatingSim, OracleLimitRefusesShiftOverflowEvenWhenAsked) {
+  // Raising max_inputs above the 2^63 enumeration ceiling must still fail
+  // loudly instead of shifting into undefined behavior.
+  const Circuit c = gen::carry_skip_adder(32, 4);  // 65 inputs
+  EXPECT_THROW(static_cast<void>(exhaustive_floating_delay(c, 100)),
+               OracleLimitError);
+  try {
+    (void)exhaustive_floating_delay(c, 100);
+  } catch (const OracleLimitError& e) {
+    EXPECT_EQ(e.limit(), 62u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// Unit tests for the differential fuzzing subsystem: structured generator
+// determinism and shape controls, battery verdicts on known-good circuits,
+// shrinker convergence, and engine-level per-seed determinism (identical
+// telemetry modulo timestamps).
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/engine.hpp"
+#include "fuzz/shrink.hpp"
+#include "gen/generators.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/delay_annotation.hpp"
+#include "netlist/transforms.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+std::string circuit_fingerprint(const Circuit& c) {
+  std::ostringstream os;
+  write_bench(os, c);
+  write_delays(os, c);
+  return os.str();
+}
+
+TEST(StructuredGen, DeterministicPerSeed) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 42;
+  const Circuit a = gen::structured_random_circuit(cfg);
+  const Circuit b = gen::structured_random_circuit(cfg);
+  EXPECT_EQ(circuit_fingerprint(a), circuit_fingerprint(b));
+  cfg.seed = 43;
+  const Circuit d = gen::structured_random_circuit(cfg);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(d));
+}
+
+TEST(StructuredGen, RespectsGateMix) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 7;
+  cfg.gates = 60;
+  const auto h = histogram(gen::structured_random_circuit(cfg));
+  EXPECT_EQ(h.of(GateType::kMux), 0u);  // default weight 0
+
+  cfg.w_mux = 10;
+  const auto hm = histogram(gen::structured_random_circuit(cfg));
+  EXPECT_GT(hm.of(GateType::kMux), 0u);
+
+  gen::StructuredCircuitConfig xor_only;
+  xor_only.seed = 7;
+  xor_only.w_and = xor_only.w_or = xor_only.w_nand = xor_only.w_nor = 0;
+  xor_only.w_not = xor_only.w_buf = 0;
+  xor_only.w_xor = 1;
+  xor_only.w_xnor = 0;
+  const auto hx = histogram(gen::structured_random_circuit(xor_only));
+  EXPECT_EQ(hx.of(GateType::kXor), hx.total());
+}
+
+TEST(StructuredGen, FalsePathBlocksAddOutputs) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 11;
+  cfg.outputs = 2;
+  cfg.false_path_blocks = 2;
+  const Circuit c = gen::structured_random_circuit(cfg);
+  EXPECT_EQ(c.outputs().size(), 4u);  // 2 core + 1 per block
+  EXPECT_TRUE(c.find_net("fp0_out").has_value());
+  EXPECT_TRUE(c.find_net("fp1_out").has_value());
+}
+
+TEST(StructuredGen, DelaysAnnotatedWithinRange) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 3;
+  cfg.delay_max = 5;
+  cfg.delay_intervals = true;
+  const Circuit c = gen::structured_random_circuit(cfg);
+  for (GateId g : c.all_gates()) {
+    const DelaySpec d = c.gate(g).delay;
+    EXPECT_GE(d.dmin, 0);
+    EXPECT_LE(d.dmin, d.dmax);
+    EXPECT_GE(d.dmax, 1);
+    EXPECT_LE(d.dmax, 5);
+  }
+}
+
+TEST(InsertBuffers, PreservesFunctionAndTiming) {
+  gen::RandomCircuitConfig cfg;
+  cfg.inputs = 6;
+  cfg.gates = 20;
+  cfg.seed = 5;
+  const Circuit c = gen::random_circuit(cfg);
+  std::vector<NetId> sites;
+  for (NetId n : c.all_nets()) {
+    if (n.index() % 2 == 0) sites.push_back(n);
+  }
+  const Circuit buffered = insert_buffers(c, sites);
+  EXPECT_GT(buffered.num_gates(), c.num_gates());
+  EXPECT_EQ(exhaustive_floating_delay(c), exhaustive_floating_delay(buffered));
+  // Interface unchanged.
+  ASSERT_EQ(buffered.inputs().size(), c.inputs().size());
+  ASSERT_EQ(buffered.outputs().size(), c.outputs().size());
+  for (std::size_t i = 0; i < c.outputs().size(); ++i) {
+    EXPECT_EQ(buffered.net(buffered.outputs()[i]).name,
+              c.net(c.outputs()[i]).name);
+  }
+}
+
+TEST(Battery, PassesOnKnownGoodCircuits) {
+  for (Circuit c : {gen::c17(), gen::hrapcenko()}) {
+    const auto r = fuzz::run_battery(c);
+    for (const auto& pr : r.results) {
+      EXPECT_TRUE(pr.ok) << c.name() << ": " << to_string(pr.property) << ": "
+                         << pr.details;
+    }
+  }
+}
+
+TEST(Battery, PropertyNamesRoundTrip) {
+  for (fuzz::Property p : fuzz::all_properties()) {
+    fuzz::Property back{};
+    ASSERT_TRUE(fuzz::property_from_string(fuzz::to_string(p), &back));
+    EXPECT_EQ(back, p);
+  }
+  fuzz::Property dummy{};
+  EXPECT_FALSE(fuzz::property_from_string("no_such_property", &dummy));
+}
+
+TEST(Battery, VerilogRoundTripSkipsMuxCircuits) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 9;
+  cfg.w_mux = 10;
+  Circuit c;
+  do {
+    c = gen::structured_random_circuit(cfg);
+    ++cfg.seed;
+  } while (histogram(c).of(GateType::kMux) == 0);
+  const auto r =
+      fuzz::check_property(c, fuzz::Property::kVerilogRoundTrip);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.skipped);
+}
+
+TEST(Shrink, ConvergesToMinimalPredicateWitness) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 21;
+  cfg.gates = 40;
+  const Circuit c = gen::structured_random_circuit(cfg);
+  ASSERT_GT(histogram(c).of(GateType::kNor), 0u);
+  // Synthetic "failure": the circuit contains a NOR gate. The minimal
+  // witness is a single NOR, so a working shrinker must get close.
+  const auto has_nor = [](const Circuit& cand) {
+    return histogram(cand).of(GateType::kNor) > 0;
+  };
+  const auto res = fuzz::shrink_circuit(c, has_nor);
+  EXPECT_TRUE(has_nor(res.circuit));
+  EXPECT_LE(res.circuit.num_gates(), 3u);
+  EXPECT_GT(res.accepted, 0u);
+  EXPECT_LE(res.circuit.inputs().size(), 2u);
+}
+
+TEST(Shrink, ReturnsInputUnchangedWhenPredicateAlreadyPasses) {
+  const Circuit c = gen::c17();
+  const auto never = [](const Circuit&) { return false; };
+  const auto res = fuzz::shrink_circuit(c, never);
+  EXPECT_EQ(res.accepted, 0u);
+  EXPECT_EQ(res.circuit.num_gates(), c.num_gates());
+}
+
+TEST(Shrink, PredicateExceptionsRejectCandidates) {
+  const Circuit c = gen::c17();
+  // Predicate that fails on the original but throws on any smaller
+  // candidate: the shrinker must survive and return the original.
+  const std::size_t n = c.num_gates();
+  const auto moody = [n](const Circuit& cand) {
+    if (cand.num_gates() < n) throw std::runtime_error("boom");
+    return true;
+  };
+  const auto res = fuzz::shrink_circuit(c, moody);
+  EXPECT_EQ(res.circuit.num_gates(), n);
+}
+
+TEST(Engine, ProfileConfigsAreDeterministic) {
+  for (const std::string& p : fuzz::known_profiles()) {
+    const auto a = fuzz::profile_config(p, 9, 3);
+    const auto b = fuzz::profile_config(p, 9, 3);
+    EXPECT_EQ(a.seed, b.seed) << p;
+    EXPECT_EQ(a.gates, b.gates) << p;
+    EXPECT_EQ(a.inputs, b.inputs) << p;
+    const auto other = fuzz::profile_config(p, 9, 4);
+    EXPECT_NE(a.seed, other.seed) << p;
+  }
+}
+
+TEST(Engine, CleanCampaignOnTrunk) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = 123;
+  cfg.runs = 6;
+  cfg.profile = "small";
+  const auto s = fuzz::run_fuzz(cfg);
+  EXPECT_EQ(s.runs_executed, 6u);
+  EXPECT_TRUE(s.failures.empty());
+  EXPECT_EQ(s.properties_checked,
+            6 * fuzz::all_properties().size());
+}
+
+/// Strips the JSONL fields that legitimately differ between identical
+/// campaigns: the "t" ns timestamp stamped by the sink.
+std::string strip_timestamps(const std::string& jsonl) {
+  static const std::regex kTime("\"t\":[0-9]+");
+  return std::regex_replace(jsonl, kTime, "\"t\":0");
+}
+
+TEST(Engine, SameSeedSameTelemetryModuloTimestamps) {
+  const auto campaign = [](std::uint64_t seed) {
+    std::ostringstream trace;
+    telemetry::JsonlTraceSink sink(trace);
+    telemetry::set_trace_sink(&sink);
+    fuzz::FuzzConfig cfg;
+    cfg.seed = seed;
+    cfg.runs = 5;
+    cfg.profile = "mixed";
+    const auto s = fuzz::run_fuzz(cfg);
+    telemetry::set_trace_sink(nullptr);
+    return std::pair{strip_timestamps(trace.str()), s.runs_executed};
+  };
+  const auto [trace_a, runs_a] = campaign(77);
+  const auto [trace_b, runs_b] = campaign(77);
+  EXPECT_EQ(runs_a, runs_b);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+  const auto [trace_c, runs_c] = campaign(78);
+  (void)runs_c;
+  EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(Engine, CliRejectsUnknownFlagsAndListsProfiles) {
+  std::ostringstream out, err;
+  EXPECT_EQ(fuzz::fuzz_cli_main({"--bogus"}, out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_EQ(fuzz::fuzz_cli_main({"--list-profiles"}, out2, err2), 0);
+  EXPECT_NE(out2.str().find("mixed"), std::string::npos);
+
+  std::ostringstream out3, err3;
+  EXPECT_EQ(fuzz::fuzz_cli_main({"--profile", "nope"}, out3, err3), 2);
+}
+
+TEST(Engine, CliRunsASmallCampaign) {
+  std::ostringstream out, err;
+  const int rc = fuzz::fuzz_cli_main(
+      {"--seed", "5", "--runs", "3", "--profile", "small"}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("3/3 runs"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace waveck

@@ -1,0 +1,140 @@
+// Round-trip property tests for the netlist readers/writers on randomly
+// generated circuits: parse(print(c)) must be isomorphic to c (same
+// interface, same gate structure, same timing), and printing again must be
+// a fixpoint. Delay annotations round-trip through write_delays/read_delays.
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/differential.hpp"
+#include "gen/generators.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/delay_annotation.hpp"
+#include "netlist/transforms.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sim/floating_sim.hpp"
+
+namespace waveck {
+namespace {
+
+/// Name -> [dmin, dmax, group] for the gate driving each net; an
+/// order-independent view of the circuit's timing annotation.
+std::map<std::string, std::tuple<std::int64_t, std::int64_t, int>> delay_map(
+    const Circuit& c) {
+  std::map<std::string, std::tuple<std::int64_t, std::int64_t, int>> m;
+  for (GateId g : c.all_gates()) {
+    const Gate& gate = c.gate(g);
+    m[c.net(gate.out).name] = {gate.delay.dmin, gate.delay.dmax,
+                               gate.delay.group};
+  }
+  return m;
+}
+
+std::vector<std::string> net_names(const Circuit& c,
+                                   const std::vector<NetId>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (NetId n : ids) names.push_back(c.net(n).name);
+  return names;
+}
+
+void expect_isomorphic(const Circuit& a, const Circuit& b,
+                       const std::string& ctx) {
+  EXPECT_EQ(net_names(a, a.inputs()), net_names(b, b.inputs())) << ctx;
+  EXPECT_EQ(net_names(a, a.outputs()), net_names(b, b.outputs())) << ctx;
+  EXPECT_EQ(a.num_gates(), b.num_gates()) << ctx;
+  const auto ha = histogram(a), hb = histogram(b);
+  for (std::size_t t = 0; t < ha.count.size(); ++t) {
+    EXPECT_EQ(ha.count[t], hb.count[t]) << ctx << " gate type " << t;
+  }
+}
+
+// `plain` restricts to the primitive alphabet both formats print natively;
+// without it the circuit may pick up MUX gates and false-path blocks (which
+// contain DELAY elements) that the Verilog writer legally lowers, so only
+// the bench tests use the full alphabet.
+Circuit make_random(std::uint64_t seed, bool plain) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = seed;
+  cfg.inputs = 7;
+  cfg.gates = 30;
+  cfg.outputs = 3;
+  cfg.delay_intervals = true;
+  if (!plain) {
+    if (seed % 3 == 0) cfg.w_mux = 4;
+    cfg.false_path_blocks = seed % 2 ? 1 : 0;
+  }
+  return gen::structured_random_circuit(cfg);
+}
+
+class BenchRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenchRoundTrip, ParsePrintIsIsomorphicFixpoint) {
+  const Circuit c = make_random(GetParam(), /*plain=*/false);
+  const std::string text = write_bench_string(c);
+  const Circuit back = read_bench_string(text, c.name());
+  expect_isomorphic(c, back, "seed " + std::to_string(GetParam()));
+  // Printing the parsed circuit reproduces the text byte for byte.
+  EXPECT_EQ(write_bench_string(back), text);
+}
+
+TEST_P(BenchRoundTrip, DelaysSurviveAnnotationRoundTrip) {
+  const Circuit c = make_random(GetParam(), /*plain=*/true);
+  std::ostringstream delays;
+  write_delays(delays, c);
+
+  // Rebuild structure from bench (which drops timing), then re-annotate.
+  Circuit back = read_bench_string(write_bench_string(c), c.name());
+  EXPECT_NE(delay_map(back), delay_map(c));  // bench alone loses delays
+  std::istringstream in(delays.str());
+  read_delays(in, back);
+  EXPECT_EQ(delay_map(back), delay_map(c));
+  // With identical structure + identical delays the timing answer matches.
+  EXPECT_EQ(exhaustive_floating_delay(back), exhaustive_floating_delay(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class VerilogRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerilogRoundTrip, ParsePrintIsIsomorphicFixpoint) {
+  const Circuit c = make_random(GetParam(), /*plain=*/true);
+  const std::string text = write_verilog_string(c);
+  const Circuit back = read_verilog_string(text, c.name());
+  expect_isomorphic(c, back, "seed " + std::to_string(GetParam()));
+  EXPECT_EQ(write_verilog_string(back), text);
+}
+
+TEST_P(VerilogRoundTrip, CrossFormatAgreement) {
+  // bench -> circuit -> verilog -> circuit must preserve structure too.
+  const Circuit c = make_random(GetParam() * 7 + 1, /*plain=*/true);
+  const Circuit via_bench = read_bench_string(write_bench_string(c));
+  const Circuit via_verilog = read_verilog_string(write_verilog_string(c));
+  expect_isomorphic(via_bench, via_verilog,
+                    "seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// The fuzz battery's round-trip properties are the same checks packaged for
+// the fuzzer; they must agree with the direct tests above on the same
+// circuits (guards against the battery and the tests drifting apart).
+TEST(FuzzBatteryAgreement, RoundTripPropertiesPassOnRandomCircuits) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    const Circuit c = make_random(seed, /*plain=*/true);
+    const auto bench =
+        fuzz::check_property(c, fuzz::Property::kBenchRoundTrip);
+    EXPECT_TRUE(bench.ok) << "seed " << seed << ": " << bench.details;
+    const auto verilog =
+        fuzz::check_property(c, fuzz::Property::kVerilogRoundTrip);
+    EXPECT_TRUE(verilog.ok) << "seed " << seed << ": " << verilog.details;
+    EXPECT_FALSE(verilog.skipped) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace waveck

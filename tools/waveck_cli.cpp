@@ -17,6 +17,7 @@
 
 #include "analysis/learning.hpp"
 #include "common/telemetry.hpp"
+#include "fuzz/engine.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas_suite.hpp"
 #include "netlist/bench_io.hpp"
@@ -60,6 +61,8 @@ constexpr CommandSpec kCommands[] = {
     {"mc", "FILE [SAMPLES] [DELAYS]", "Monte-Carlo delay lower bound"},
     {"json", "FILE [DELAYS]", "exact delay report as JSON"},
     {"gen", "NAME [v]", "emit a generated circuit as .bench (or Verilog)"},
+    {"fuzz", "[--seed N] [--runs N] ...",
+     "differential fuzzing vs the exhaustive oracle (see waveck_fuzz)"},
 };
 
 int usage() {
@@ -314,6 +317,11 @@ namespace {
 
 int dispatch(const std::vector<std::string>& args) {
   // args[0] = command, args[1] = FILE/NAME, args[2..] = command arguments.
+  if (args[0] == "fuzz") {
+    // All-flag command; shares the driver with tools/waveck_fuzz.
+    return fuzz::fuzz_cli_main({args.begin() + 1, args.end()}, std::cout,
+                               std::cerr);
+  }
   if (args.size() < 2) return usage();
   const std::string& cmd = args[0];
   const std::string& file = args[1];

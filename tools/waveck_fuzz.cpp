@@ -1,0 +1,57 @@
+// waveck_fuzz: standalone differential-fuzzing front end.
+//
+// Thin wrapper over fuzz::fuzz_cli_main (the same driver behind
+// `waveck fuzz`), plus the global --metrics/--trace telemetry flags shared
+// with the main CLI so fuzz campaigns are observable through the existing
+// metrics/trace layer. See doc/TESTING.md for the triage workflow.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "fuzz/engine.hpp"
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics" || a == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << a << " needs a file argument\n";
+        return 2;
+      }
+      (a == "--metrics" ? metrics_path : trace_path) = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+
+  std::unique_ptr<waveck::telemetry::JsonlTraceSink> sink;
+  int rc = 2;
+  try {
+    if (!trace_path.empty()) {
+      sink = std::make_unique<waveck::telemetry::JsonlTraceSink>(trace_path);
+      waveck::telemetry::set_trace_sink(sink.get());
+    }
+    rc = waveck::fuzz::fuzz_cli_main(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = 2;
+  }
+  waveck::telemetry::set_trace_sink(nullptr);
+  sink.reset();
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) {
+      os << waveck::telemetry::Registry::global().to_json() << "\n";
+    } else {
+      std::cerr << "error: cannot open " << metrics_path << "\n";
+      if (rc == 0) rc = 2;
+    }
+  }
+  return rc;
+}

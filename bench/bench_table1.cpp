@@ -11,6 +11,7 @@
 // Absolute top/delta values differ from the paper (generated analogue
 // netlists; see DESIGN.md); the reproduced signal is the *stage profile*:
 // which machinery closes each circuit and that vectors need few backtracks.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -26,7 +27,9 @@ int main(int argc, char** argv) {
   using namespace waveck::bench;
   bool quick = false;
   bool json = false;
-  std::size_t jobs = 0;  // 0 = serial only, no parallel pass
+  std::size_t jobs = 0;    // 0 = serial only, no parallel pass
+  std::size_t repeat = 1;  // timed serial runs per row (--repeat)
+  std::string upto;        // stop after the first entry matching this prefix
   std::string json_path = "BENCH_table1.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -39,9 +42,14 @@ int main(int argc, char** argv) {
       jobs = sched::ThreadPool::hardware_workers();
       if (i + 1 < argc && argv[i + 1][0] != '-') jobs = std::stoull(argv[++i]);
       if (jobs == 0) jobs = sched::ThreadPool::hardware_workers();
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::stoull(argv[++i]);
+      if (repeat == 0) repeat = 1;
+    } else if (arg == "--upto" && i + 1 < argc) {
+      upto = argv[++i];
     } else {
       std::cerr << "usage: bench_table1 [--quick] [--json [FILE]] "
-                   "[--jobs [N]]\n";
+                   "[--jobs [N]] [--repeat N] [--upto NAME]\n";
       return 2;
     }
   }
@@ -68,16 +76,35 @@ int main(int argc, char** argv) {
     const auto exact = v.exact_floating_delay();
     const std::string kind = exact.exact ? "E" : "U";
 
+    // With --repeat N each row is checked once unrecorded (warmup) and then
+    // N recorded times: `seconds` is the last run, `seconds_min` the
+    // minimum -- the robust statistic on noisy CI machines. Results are
+    // deterministic, so repeats change timing only.
+    double min_above = -1.0;
+    double min_at = -1.0;
+    const auto timed_check = [&](Time delta, double& min_s) {
+      if (repeat > 1) (void)v.check_circuit(delta);  // warmup
+      SuiteReport rep = v.check_circuit(delta);
+      min_s = repeat > 1 ? rep.seconds : -1.0;
+      for (std::size_t r = 1; r < repeat; ++r) {
+        rep = v.check_circuit(delta);
+        min_s = std::min(min_s, rep.seconds);
+      }
+      return rep;
+    };
+
     // Row 1: delta_E + 1 (the proof row; printed second in the paper's
     // order, which lists the just-failing delta first for some circuits --
     // we keep proof-then-witness order).
-    const auto above = v.check_circuit(exact.delay + 1);
+    const auto above = timed_check(exact.delay + 1, min_above);
     auto row_above = row_from_suite(entry.name, top, exact.delay + 1, "",
                                     above);
+    row_above.seconds_min = min_above;
 
     // Row 2: delta_E (witness row).
-    const auto at = v.check_circuit(exact.delay);
+    const auto at = timed_check(exact.delay, min_at);
     auto row_at = row_from_suite(entry.name, top, exact.delay, kind, at);
+    row_at.seconds_min = min_at;
 
     if (jobs > 0) {
       // Parallel pass: the same two suite checks through the scheduler.
@@ -106,6 +133,10 @@ int main(int argc, char** argv) {
     rows.push_back(row_above);
     print_table1_row(row_at);
     rows.push_back(row_at);
+
+    // --upto NAME: run the suite prefix ending at the first entry whose
+    // label starts with NAME (CI benches up to c1908 to bound job time).
+    if (!upto.empty() && entry.name.rfind(upto, 0) == 0) break;
   }
 
   std::cout << "\nLegend: P possible violation, N no violation, V vector "

@@ -50,6 +50,12 @@ struct Table1Row {
   /// Wall-clock of the same suite check re-run through the parallel
   /// CheckScheduler (bench_table1 --jobs); < 0 = parallel pass not run.
   double seconds_parallel = -1.0;
+  /// Min-of-N wall-clock (bench_table1 --repeat N); < 0 = single run only.
+  double seconds_min = -1.0;
+  /// Violating input vector "bits@output" when the row finds one ("" = no
+  /// witness). Part of the CI bench-regression key: the *same* vector must
+  /// keep reproducing, not just some vector.
+  std::string witness;
 };
 
 inline void print_table1_header() {
@@ -84,6 +90,12 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
   r.seconds = rep.seconds;
   r.backtracks_n = rep.backtracks;
   r.stage_seconds = rep.stage_seconds;
+  if (rep.vector) {
+    r.witness = format_vector(*rep.vector);
+    if (rep.violating_output) {
+      r.witness += "@" + std::to_string(rep.violating_output->index());
+    }
+  }
   switch (rep.conclusion) {
     case CheckConclusion::kViolation:
       r.backtracks = std::to_string(rep.backtracks);
@@ -137,6 +149,8 @@ inline void write_table1_json(const std::string& path,
     if (r.seconds_parallel >= 0) {
       os << ",\"seconds_parallel\":" << r.seconds_parallel;
     }
+    if (r.seconds_min >= 0) os << ",\"seconds_min\":" << r.seconds_min;
+    os << ",\"witness\":\"" << esc(r.witness) << "\"";
     os << ",\"stage_seconds\":{"
        << "\"narrowing\":" << r.stage_seconds.narrowing
        << ",\"gitd\":" << r.stage_seconds.gitd

@@ -71,6 +71,14 @@ CarrierSet dynamic_carriers(const ConstraintSystem& cs,
 std::vector<NetId> timing_dominators(const Circuit& c,
                                      const TimingCheck& check,
                                      const CarrierSet& carriers) {
+  DominatorScratch scratch;
+  return timing_dominators(c, check, carriers, scratch);
+}
+
+std::vector<NetId> timing_dominators(const Circuit& c,
+                                     const TimingCheck& check,
+                                     const CarrierSet& carriers,
+                                     DominatorScratch& scratch) {
   const NetId s = check.output;
   if (!carriers.is_carrier(s)) return {};
 
@@ -78,7 +86,8 @@ std::vector<NetId> timing_dominators(const Circuit& c,
   // (s first, upstream later), then the virtual sink T. This is a
   // topological order of Psi' because its edges run downstream-net ->
   // upstream-net.
-  std::vector<NetId> verts;
+  std::vector<NetId>& verts = scratch.verts;
+  verts.clear();
   for (GateId g : c.topo_order()) {
     const NetId out = c.gate(g).out;
     if (carriers.is_carrier(out)) verts.push_back(out);
@@ -102,14 +111,18 @@ std::vector<NetId> timing_dominators(const Circuit& c,
 
   const std::size_t n_verts = verts.size() + 1;  // + T
   const std::size_t t_idx = verts.size();
-  std::vector<std::size_t> vert_index(c.num_nets(), SIZE_MAX);
+  std::vector<std::size_t>& vert_index = scratch.vert_index;
+  vert_index.assign(c.num_nets(), SIZE_MAX);
   for (std::size_t i = 0; i < verts.size(); ++i) {
     vert_index[verts[i].index()] = i;
   }
 
   // Predecessor lists: edge y -> x for every carrier input x of y's driving
-  // gate; edge y -> T when y is a primary input of the circuit.
-  std::vector<std::vector<std::size_t>> preds(n_verts);
+  // gate; edge y -> T when y is a primary input of the circuit. The inner
+  // vectors keep their capacity across calls via the scratch.
+  std::vector<std::vector<std::size_t>>& preds = scratch.preds;
+  if (preds.size() < n_verts) preds.resize(n_verts);
+  for (std::size_t i = 0; i < n_verts; ++i) preds[i].clear();
   for (std::size_t yi = 0; yi < verts.size(); ++yi) {
     const NetId y = verts[yi];
     const GateId drv = c.net(y).driver;
@@ -126,7 +139,8 @@ std::vector<NetId> timing_dominators(const Circuit& c,
   // Cooper-Harvey-Kennedy iterative idom; a single pass suffices on a DAG
   // processed in topological order.
   constexpr std::size_t kUndef = SIZE_MAX;
-  std::vector<std::size_t> idom(n_verts, kUndef);
+  std::vector<std::size_t>& idom = scratch.idom;
+  idom.assign(n_verts, kUndef);
   idom[0] = 0;  // S = s
   auto intersect = [&](std::size_t a, std::size_t b) {
     while (a != b) {
@@ -158,11 +172,10 @@ std::vector<NetId> timing_dominators(const Circuit& c,
   return doms;
 }
 
-namespace {
-
-std::size_t apply_implications(ConstraintSystem& cs, const TimingCheck& check,
-                               const CarrierSet& carriers) {
-  const auto doms = timing_dominators(cs.circuit(), check, carriers);
+std::size_t apply_dominator_restrictions(ConstraintSystem& cs,
+                                         const TimingCheck& check,
+                                         const CarrierSet& carriers,
+                                         const std::vector<NetId>& doms) {
   std::size_t changed = 0;
   for (NetId d : doms) {
     const Time k = carriers.distance[d.index()];
@@ -171,6 +184,14 @@ std::size_t apply_implications(ConstraintSystem& cs, const TimingCheck& check,
     if (cs.restrict_domain(d, AbstractSignal::violating(bound))) ++changed;
   }
   return changed;
+}
+
+namespace {
+
+std::size_t apply_implications(ConstraintSystem& cs, const TimingCheck& check,
+                               const CarrierSet& carriers) {
+  const auto doms = timing_dominators(cs.circuit(), check, carriers);
+  return apply_dominator_restrictions(cs, check, carriers, doms);
 }
 
 }  // namespace

@@ -55,11 +55,27 @@ struct CarrierSet {
 [[nodiscard]] CarrierSet dynamic_carriers(const ConstraintSystem& cs,
                                           const TimingCheck& check);
 
+/// Reusable buffers for `timing_dominators`: a repeat caller (the search
+/// loop recomputes dominators thousands of times per check) avoids
+/// reallocating the per-call vertex/edge scratch.
+struct DominatorScratch {
+  std::vector<NetId> verts;
+  std::vector<std::size_t> vert_index;
+  std::vector<std::vector<std::size_t>> preds;
+  std::vector<std::size_t> idom;
+};
+
 /// Timing dominators: the nets on every S->T path of the carrier DAG,
 /// ordered from s outward (s itself first). Works for both carrier kinds.
 [[nodiscard]] std::vector<NetId> timing_dominators(const Circuit& c,
                                                    const TimingCheck& check,
                                                    const CarrierSet& carriers);
+
+/// As above, reusing `scratch` across calls. Identical output.
+[[nodiscard]] std::vector<NetId> timing_dominators(const Circuit& c,
+                                                   const TimingCheck& check,
+                                                   const CarrierSet& carriers,
+                                                   DominatorScratch& scratch);
 
 /// One round of Corollary 1: intersects every dynamic timing dominator d
 /// with (0|delta-k..+inf, 1|delta-k..+inf), k = dynamic distance of d.
@@ -67,6 +83,14 @@ struct CarrierSet {
 /// done).
 std::size_t apply_dominator_implications(ConstraintSystem& cs,
                                          const TimingCheck& check);
+
+/// The restriction loop of Corollary 1 over precomputed dominators: shared
+/// by `apply_dominator_implications` and the CarrierCache-backed overload
+/// (carrier_cache.hpp). Returns the number of domains narrowed.
+std::size_t apply_dominator_restrictions(ConstraintSystem& cs,
+                                         const TimingCheck& check,
+                                         const CarrierSet& carriers,
+                                         const std::vector<NetId>& doms);
 
 /// Lemma 3 variant using static carriers/distances only (no domain reads);
 /// exposed for the ablation benches.

@@ -1,5 +1,6 @@
 #include "analysis/learning.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace waveck {
@@ -19,6 +20,8 @@ LearningResult learn_implications(const Circuit& c,
 
   ConstraintSystem cs(c);
   std::unordered_set<std::uint64_t> seen;
+  // Large circuits learn ~10^6 pairs; pre-sizing avoids the rehash churn.
+  seen.reserve(std::min<std::size_t>(opt.max_implications, 1u << 20));
 
   for (NetId y : c.all_nets()) {
     if (res.table.size() >= opt.max_implications) break;
@@ -34,8 +37,9 @@ LearningResult learn_implications(const Circuit& c,
       }
       // Every collapsed net is an implication target. (y itself collapsed
       // trivially; skip it.) Only nets touched by the propagation need
-      // scanning.
-      for (NetId x : cs.changed_since(mark)) {
+      // scanning; the trail suffix is read in place.
+      for (std::size_t i = mark; i < cs.trail_size(); ++i) {
+        const NetId x = cs.trail_net(i);
         if (x == y) continue;
         const AbstractSignal& d = cs.domain(x);
         if (!d.single_class()) continue;

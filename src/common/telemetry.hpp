@@ -108,6 +108,17 @@ class Histogram {
     count_.fetch_add(other.count(), std::memory_order_relaxed);
     sum_.fetch_add(other.sum(), std::memory_order_relaxed);
   }
+  /// Folds pre-aggregated totals in (the LocalHistogram flush path).
+  void add_counts(std::span<const std::uint64_t> bucket_counts,
+                  std::uint64_t count, std::uint64_t sum) {
+    for (std::size_t i = 0; i < kBuckets && i < bucket_counts.size(); ++i) {
+      if (bucket_counts[i] != 0) {
+        buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -118,6 +129,48 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Single-owner accumulation buffer in front of a shared Histogram: each
+/// observe() is plain (non-atomic) integer arithmetic, and flush() folds
+/// the totals into the histogram with one batch of relaxed RMWs. Loops
+/// that observe per event at very high rates (the per-pop queue-depth and
+/// per-revision magnitude observations in ConstraintSystem) buffer through
+/// this so the hot path never touches shared cache lines. Not thread-safe;
+/// flushed on destruction.
+class LocalHistogram {
+ public:
+  explicit LocalHistogram(Histogram& h) : h_(&h) {}
+  LocalHistogram(const LocalHistogram&) = delete;
+  LocalHistogram& operator=(const LocalHistogram&) = delete;
+  /// Movable so owning objects stay movable; the source is left empty.
+  LocalHistogram(LocalHistogram&& o) noexcept
+      : h_(o.h_), buckets_(o.buckets_), count_(o.count_), sum_(o.sum_) {
+    o.buckets_ = {};
+    o.count_ = 0;
+    o.sum_ = 0;
+  }
+  ~LocalHistogram() { flush(); }
+
+  void observe(std::uint64_t v) {
+    ++buckets_[Histogram::bucket_index(v)];
+    ++count_;
+    sum_ += v;
+  }
+  void flush() {
+    if (count_ == 0) return;
+    h_->add_counts(buckets_, count_, sum_);
+    buckets_ = {};
+    count_ = 0;
+    sum_ = 0;
+  }
+  [[nodiscard]] std::uint64_t pending() const { return count_; }
+
+ private:
+  Histogram* h_;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
 };
 
 /// Accumulating stage timer: number of runs and total wall time in ns.

@@ -1,5 +1,6 @@
 #include "constraints/constraint_system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "constraints/projection.hpp"
@@ -9,7 +10,8 @@ namespace waveck {
 ConstraintSystem::ConstraintSystem(const Circuit& circuit)
     : circuit_(circuit),
       domains_(circuit.num_nets(), AbstractSignal::top()),
-      in_queue_(circuit.num_gates(), false),
+      gate_level_(circuit.num_gates(), 0),
+      in_queue_(circuit.num_gates(), 0),
       save_epoch_(circuit.num_nets(), 0),
       ctr_fixpoints_(telemetry::Registry::current().counter("engine.fixpoints")),
       ctr_applications_(
@@ -17,12 +19,34 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       ctr_narrowings_(
           telemetry::Registry::current().counter("engine.narrowings")),
       ctr_conflicts_(telemetry::Registry::current().counter("engine.conflicts")),
-      h_queue_depth_(
-          telemetry::Registry::current().histogram("engine.queue_depth")),
+      ctr_gate_evals_(
+          telemetry::Registry::current().counter("fixpoint.gate_evals")),
       h_fixpoint_narrowings_(telemetry::Registry::current().histogram(
           "engine.fixpoint_narrowings")),
-      h_narrowing_magnitude_(telemetry::Registry::current().histogram(
-          "engine.narrowing_magnitude")) {}
+      lh_queue_depth_(
+          telemetry::Registry::current().histogram("engine.queue_depth")),
+      lh_narrowing_magnitude_(telemetry::Registry::current().histogram(
+          "engine.narrowing_magnitude")) {
+  // Longest-path gate levels: level(g) = 1 + max level over driven inputs.
+  std::uint32_t max_lv = 0;
+  for (GateId g : circuit.topo_order()) {
+    std::uint32_t lv = 0;
+    for (NetId in : circuit.gate(g).ins) {
+      const GateId drv = circuit.net(in).driver;
+      if (drv.valid()) lv = std::max(lv, gate_level_[drv.index()] + 1);
+    }
+    gate_level_[g.index()] = lv;
+    max_lv = std::max(max_lv, lv);
+  }
+  buckets_.resize(circuit.num_gates() > 0 ? max_lv + 1 : 0);
+  cursor_ = buckets_.size();
+}
+
+void ConstraintSystem::enable_change_log() {
+  if (log_enabled_) return;
+  log_enabled_ = true;
+  log_stamp_.assign(circuit_.num_nets(), 0);
+}
 
 void ConstraintSystem::save_if_needed(NetId n) {
   auto& epoch = save_epoch_[n.index()];
@@ -43,6 +67,8 @@ void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
   const Time old_latest = dom.latest();
   dom = nd;
   ++narrowings_;
+  ++domain_gen_;
+  log_change(n);
   if (nd.is_bottom() && !was_bottom) {
     ++bottom_count_;
     ctr_conflicts_.inc();
@@ -52,12 +78,12 @@ void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
   // jump (top -> finite, or a class emptying) lands in the overflow bucket.
   const Time new_latest = nd.latest();
   if (old_latest == new_latest) {
-    h_narrowing_magnitude_.observe(0);
+    lh_narrowing_magnitude_.observe(0);
   } else if (old_latest.is_finite() && new_latest.is_finite()) {
-    h_narrowing_magnitude_.observe(
+    lh_narrowing_magnitude_.observe(
         static_cast<std::uint64_t>(old_latest.value() - new_latest.value()));
   } else {
-    h_narrowing_magnitude_.observe(
+    lh_narrowing_magnitude_.observe(
         telemetry::Histogram::bucket_lower_bound(
             telemetry::Histogram::kBuckets - 1));
   }
@@ -80,9 +106,13 @@ bool ConstraintSystem::restrict_domain(NetId n, const AbstractSignal& with) {
 }
 
 void ConstraintSystem::schedule_gate(GateId g) {
-  if (in_queue_[g.index()]) return;
-  in_queue_[g.index()] = true;
-  queue_.push_back(g);
+  if (in_queue_[g.index()] != 0) return;
+  in_queue_[g.index()] = 1;
+  const std::size_t lv = gate_level_[g.index()];
+  buckets_[lv].push_back(g);
+  ++queue_size_;
+  if (lv < cursor_) cursor_ = lv;
+  if (lv > touched_hi_) touched_hi_ = lv;
 }
 
 void ConstraintSystem::schedule_net(NetId n) {
@@ -96,8 +126,17 @@ void ConstraintSystem::schedule_all() {
 }
 
 void ConstraintSystem::clear_queue() {
-  queue_.clear();
-  in_queue_.assign(in_queue_.size(), false);
+  if (queue_size_ != 0) {
+    // Invariant: every bucket below cursor_ is already empty, and nothing
+    // was pushed above touched_hi_ since the last clear.
+    for (std::size_t lv = cursor_; lv <= touched_hi_; ++lv) {
+      for (GateId g : buckets_[lv]) in_queue_[g.index()] = 0;
+      buckets_[lv].clear();
+    }
+    queue_size_ = 0;
+  }
+  cursor_ = buckets_.size();
+  touched_hi_ = 0;
 }
 
 void ConstraintSystem::apply_gate(GateId gid) {
@@ -105,8 +144,8 @@ void ConstraintSystem::apply_gate(GateId gid) {
   AbstractSignal out = domains_[g.out.index()];
   // Local copies: projections see a consistent snapshot; commits re-intersect
   // so concurrent implication-driven narrowing is never widened back.
-  std::vector<AbstractSignal> ins;
-  ins.reserve(g.ins.size());
+  std::vector<AbstractSignal>& ins = apply_ins_;
+  ins.clear();
   for (NetId in : g.ins) ins.push_back(domains_[in.index()]);
 
   const ProjectionDelta delta = project_gate(g.type, g.delay, out, ins);
@@ -120,17 +159,22 @@ void ConstraintSystem::apply_gate(GateId gid) {
 ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   const std::uint64_t apps0 = applications_;
   const std::uint64_t nar0 = narrowings_;
-  const std::size_t depth0 = queue_.size();
+  const std::size_t depth0 = queue_size_;
   // Tripwire against unforeseen non-termination (Theorem 1 guarantees the
   // fixpoint is finite; this bound is far above any observed run).
   const std::uint64_t budget =
       applications_ + 1000ull * std::max<std::size_t>(circuit_.num_gates(),
                                                       10000);
   Status status = Status::kPossibleViolation;
-  while (!queue_.empty()) {
-    const GateId g = queue_.front();
-    queue_.pop_front();
-    in_queue_[g.index()] = false;
+  while (queue_size_ > 0) {
+    while (buckets_[cursor_].empty()) ++cursor_;
+    std::vector<GateId>& bucket = buckets_[cursor_];
+    const GateId g = bucket.back();
+    bucket.pop_back();
+    in_queue_[g.index()] = 0;
+    // Wave width at this drain step (the popped gate included).
+    lh_queue_depth_.observe(queue_size_);
+    --queue_size_;
     apply_gate(g);
     if (inconsistent()) {
       clear_queue();
@@ -144,9 +188,11 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
 
   ctr_fixpoints_.inc();
   ctr_applications_.add(applications_ - apps0);
+  ctr_gate_evals_.add(applications_ - apps0);
   ctr_narrowings_.add(narrowings_ - nar0);
-  h_queue_depth_.observe(depth0);
   h_fixpoint_narrowings_.observe(narrowings_ - nar0);
+  lh_queue_depth_.flush();
+  lh_narrowing_magnitude_.flush();
   if (telemetry::trace_enabled()) {
     telemetry::emit(
         "propagate",
@@ -173,12 +219,14 @@ ConstraintSystem::Mark ConstraintSystem::push_state() {
 }
 
 void ConstraintSystem::pop_to(Mark mark) {
+  if (trail_.size() > mark) ++domain_gen_;
   while (trail_.size() > mark) {
     TrailEntry& e = trail_.back();
     AbstractSignal& dom = domains_[e.net.index()];
     if (dom.is_bottom() && !e.old_value.is_bottom()) --bottom_count_;
     dom = e.old_value;
     save_epoch_[e.net.index()] = e.old_epoch;
+    log_change(e.net);
     trail_.pop_back();
   }
   clear_queue();

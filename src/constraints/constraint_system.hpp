@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +94,9 @@ class ConstraintSystem {
   /// Restores all domains to their values at `mark` and clears the queue.
   void pop_to(Mark mark);
   [[nodiscard]] std::size_t trail_size() const { return trail_.size(); }
+  /// Net recorded at trail position `i` (allocation-free alternative to
+  /// `changed_since` for scanning a trail suffix in place).
+  [[nodiscard]] NetId trail_net(std::size_t i) const { return trail_[i].net; }
   /// Nets whose domains changed since `mark`. Each net appears once per
   /// decision level it was first touched in (exactly once when no nested
   /// `push_state` happened after `mark`).
@@ -105,6 +107,26 @@ class ConstraintSystem {
   /// owned; must outlive the system.
   void set_implications(const ImplicationTable* table) { implications_ = table; }
 
+  // ----- incremental-analysis support ----------------------------------------
+  /// Monotone domain-state generation: bumped on every committed narrowing
+  /// and on every `pop_to` restore. Two equal generations guarantee the
+  /// domains are unchanged in between — the key an incremental consumer
+  /// (CarrierCache) uses to skip resynchronisation entirely.
+  [[nodiscard]] std::uint64_t domain_generation() const { return domain_gen_; }
+  /// Turns on the change log drained by `drain_changed_nets`. Off by
+  /// default so systems without an incremental consumer pay nothing.
+  void enable_change_log();
+  /// Hands every net whose domain may have changed (narrowed by
+  /// `commit_domain` or restored by `pop_to`) since the previous drain to
+  /// `f`, each net at most once, in first-change order, then resets the
+  /// log. Requires `enable_change_log()`.
+  template <class F>
+  void drain_changed_nets(F&& f) {
+    for (NetId n : change_log_) f(n);
+    change_log_.clear();
+    ++drain_gen_;
+  }
+
   // ----- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t applications() const { return applications_; }
   [[nodiscard]] std::uint64_t narrowings() const { return narrowings_; }
@@ -114,12 +136,33 @@ class ConstraintSystem {
   /// Commits a narrowed value for net `n`: trail, events, learning.
   void commit_domain(NetId n, const AbstractSignal& value, GateId source);
   void apply_gate(GateId g);
+  void log_change(NetId n) {
+    if (!log_enabled_) return;
+    auto& stamp = log_stamp_[n.index()];
+    if (stamp == drain_gen_) return;
+    stamp = drain_gen_;
+    change_log_.push_back(n);
+  }
 
   const Circuit& circuit_;
   std::vector<AbstractSignal> domains_;
 
-  std::deque<GateId> queue_;
-  std::vector<bool> in_queue_;
+  // Topo-level bucket queue. Gates are bucketed by longest-path depth
+  // (every circuit edge goes to a strictly higher level), and the drain
+  // always pops from the lowest non-empty level, so a forward wave
+  // evaluates each gate at most once per level sweep instead of the
+  // re-evaluation churn of chaotic FIFO iteration; backward narrowings
+  // (projections restricting gate inputs) rewind the cursor. The greatest
+  // fixpoint is order-independent (Theorem 1), so only the evaluation
+  // count changes. Buckets below `cursor_` are empty; `touched_hi_` bounds
+  // the levels pushed since the last clear, so `clear_queue` is O(touched)
+  // rather than O(gates).
+  std::vector<std::uint32_t> gate_level_;
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<std::uint8_t> in_queue_;
+  std::size_t queue_size_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t touched_hi_ = 0;
 
   struct TrailEntry {
     NetId net;
@@ -137,15 +180,35 @@ class ConstraintSystem {
   std::uint64_t applications_ = 0;
   std::uint64_t narrowings_ = 0;
 
+  // Change log for incremental consumers (see enable_change_log). A net is
+  // pushed at most once per drain window: `log_stamp_[n] == drain_gen_`
+  // marks "already logged", so the log never exceeds num_nets entries no
+  // matter how many narrowings a window sees. Deliberately independent of
+  // the trail's `save_epoch_` stamps — those dedupe per decision level,
+  // not per drain, and would miss a second commit inside one level.
+  bool log_enabled_ = false;
+  std::vector<NetId> change_log_;
+  std::vector<std::uint64_t> log_stamp_;
+  std::uint64_t drain_gen_ = 1;
+  std::uint64_t domain_gen_ = 0;
+
+  // Reused input-snapshot buffer for apply_gate (hoisted out of the hot
+  // loop; tens of millions of calls per large search).
+  std::vector<AbstractSignal> apply_ins_;
+
   // Registry handles cached at construction: metric updates in the hot
-  // paths are plain integer arithmetic, never name lookups.
+  // paths are plain integer arithmetic, never name lookups. The two
+  // highest-rate histograms buffer through LocalHistogram and flush at
+  // fixpoint exit (and on destruction), so per-event observation stays
+  // non-atomic.
   telemetry::Counter& ctr_fixpoints_;
   telemetry::Counter& ctr_applications_;
   telemetry::Counter& ctr_narrowings_;
   telemetry::Counter& ctr_conflicts_;
-  telemetry::Histogram& h_queue_depth_;
+  telemetry::Counter& ctr_gate_evals_;
   telemetry::Histogram& h_fixpoint_narrowings_;
-  telemetry::Histogram& h_narrowing_magnitude_;
+  telemetry::LocalHistogram lh_queue_depth_;
+  telemetry::LocalHistogram lh_narrowing_magnitude_;
 };
 
 }  // namespace waveck

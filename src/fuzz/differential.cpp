@@ -26,6 +26,7 @@ const char* to_string(Property p) {
     case Property::kParallelDeterminism: return "parallel_determinism";
     case Property::kBenchRoundTrip: return "bench_roundtrip";
     case Property::kVerilogRoundTrip: return "verilog_roundtrip";
+    case Property::kCacheEquivalence: return "cache_equivalence";
   }
   return "?";
 }
@@ -46,6 +47,7 @@ const std::vector<Property>& all_properties() {
       Property::kDeltaMonotonic,   Property::kBufferInvariance,
       Property::kNorRemap,         Property::kParallelDeterminism,
       Property::kBenchRoundTrip,   Property::kVerilogRoundTrip,
+      Property::kCacheEquivalence,
   };
   return kAll;
 }
@@ -258,6 +260,32 @@ std::string canonical_suite_json(const Circuit& c, SuiteReport rep) {
   return to_json(c, rep, /*include_metrics=*/false);
 }
 
+PropertyResult check_cache_equivalence(const Circuit& c,
+                                       const BatteryOptions& opt) {
+  (void)opt;
+  constexpr Property p = Property::kCacheEquivalence;
+  const Time topo = topological_delay(c);
+  const std::int64_t t = topo.is_finite() ? topo.value() : 0;
+  for (std::int64_t d : {t / 2, t, t + 1}) {
+    if (d < 0) continue;
+    const Time delta(d);
+    VerifyOptions cached_opt;
+    cached_opt.use_carrier_cache = true;
+    Verifier cached(c, cached_opt);
+    const std::string on = canonical_suite_json(c, cached.check_circuit(delta));
+    VerifyOptions scratch_opt;
+    scratch_opt.use_carrier_cache = false;
+    Verifier scratch(c, scratch_opt);
+    const std::string off =
+        canonical_suite_json(c, scratch.check_circuit(delta));
+    if (on != off) {
+      return fail(p, "cache-on vs cache-off suite JSON differs at delta " +
+                         std::to_string(d));
+    }
+  }
+  return pass(p);
+}
+
 PropertyResult check_parallel_determinism(const Circuit& c,
                                           const BatteryOptions& opt) {
   constexpr Property p = Property::kParallelDeterminism;
@@ -362,6 +390,7 @@ PropertyResult check_property(const Circuit& c, Property p,
       return check_parallel_determinism(c, opt);
     case Property::kBenchRoundTrip: return check_bench_roundtrip(c, opt);
     case Property::kVerilogRoundTrip: return check_verilog_roundtrip(c, opt);
+    case Property::kCacheEquivalence: return check_cache_equivalence(c, opt);
   }
   return fail(p, "unknown property");
 }

@@ -42,6 +42,10 @@ enum class Property : std::uint8_t {
   /// Same for structural Verilog (skipped for MUX/DELAY circuits, which
   /// the writer legally lowers).
   kVerilogRoundTrip,
+  /// CarrierCache on vs off suite reports are byte-identical JSON: the
+  /// incremental carrier/dominator cache is a pure optimisation (catches
+  /// stale-cache bugs).
+  kCacheEquivalence,
 };
 
 [[nodiscard]] const char* to_string(Property p);

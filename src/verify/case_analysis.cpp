@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "analysis/carrier_cache.hpp"
 #include "analysis/head_lines.hpp"
 #include "common/telemetry.hpp"
 #include "sim/floating_sim.hpp"
@@ -36,25 +36,47 @@ struct Weights {
 class FanGuide {
  public:
   FanGuide(const ConstraintSystem& cs, const TimingCheck& check,
-           const Scoap* scoap, const CaseAnalysisOptions& opt)
+           const Scoap* scoap, const CaseAnalysisOptions& opt,
+           CarrierCache* cache)
       : c_(cs.circuit()),
         check_(check),
         scoap_(scoap),
         opt_(opt),
+        cache_(cache),
         heads_(compute_head_lines(cs.circuit())) {
+    // Net processing level for the objective backtrace: topo index of the
+    // driver (+1); PIs are 0. Fixed for the circuit, so computed once.
+    net_level_.assign(c_.num_nets(), 0);
+    {
+      std::uint32_t idx = 1;
+      for (GateId g : c_.topo_order()) {
+        net_level_[c_.gate(g).out.index()] = idx;
+        max_level_ = idx;
+        ++idx;
+      }
+    }
+    buckets_.resize(max_level_ + 1);
+    queued_.assign(c_.num_nets(), 0);
     if (opt_.three_phase) build_phase1_regions(cs);
   }
 
   /// Next decision (net, class), or nullopt when only primary-input
   /// completion remains impossible (every net decided).
   [[nodiscard]] std::optional<std::pair<NetId, bool>> pick(
-      const ConstraintSystem& cs) const {
-    const CarrierSet carriers = dynamic_carriers(cs, check_);
-    const auto cands = objective_candidates(cs, carriers);
+      const ConstraintSystem& cs) {
+    CarrierSet local;
+    const CarrierSet* carriers;
+    if (cache_ != nullptr) {
+      carriers = &cache_->carriers();
+    } else {
+      local = dynamic_carriers(cs, check_);
+      carriers = &local;
+    }
+    const auto& cands = objective_candidates(cs, *carriers);
 
     // Phase 1: between consecutive dynamic dominators, in order.
-    for (const auto& region : phase1_regions_) {
-      if (auto d = best_in(cs, cands, &region)) return d;
+    for (const auto& member : phase1_region_member_) {
+      if (auto d = best_in(cs, cands, &member)) return d;
     }
     // Phase 2: whole carrier neighbourhood.
     if (auto d = best_in(cs, cands, nullptr)) return d;
@@ -75,34 +97,40 @@ class FanGuide {
  private:
   // --- phase-1 regions -------------------------------------------------------
   void build_phase1_regions(const ConstraintSystem& cs) {
-    const CarrierSet carriers = dynamic_carriers(cs, check_);
-    const auto doms = timing_dominators(c_, check_, carriers);
+    std::vector<NetId> doms;
+    if (cache_ != nullptr) {
+      doms = cache_->dominators();
+    } else {
+      const CarrierSet carriers = dynamic_carriers(cs, check_);
+      doms = timing_dominators(c_, check_, carriers);
+    }
     for (std::size_t i = 0; i < doms.size(); ++i) {
       const NetId stop =
           i + 1 < doms.size() ? doms[i + 1] : NetId{};  // invalid on last
-      phase1_regions_.push_back(cone_of(doms[i], stop));
+      phase1_region_member_.push_back(cone_of(doms[i], stop));
     }
   }
 
-  [[nodiscard]] std::vector<NetId> cone_of(NetId root, NetId stop) const {
-    std::vector<NetId> cone;
-    std::vector<bool> seen(c_.num_nets(), false);
+  /// Fan-in cone of `root` (exclusive of `stop`) as a per-net membership
+  /// flag vector -- the representation `best_in` filters against.
+  [[nodiscard]] std::vector<std::uint8_t> cone_of(NetId root,
+                                                  NetId stop) const {
+    std::vector<std::uint8_t> member(c_.num_nets(), 0);
     std::vector<NetId> stack{root};
-    seen[root.index()] = true;
+    member[root.index()] = 1;
     while (!stack.empty()) {
       const NetId n = stack.back();
       stack.pop_back();
-      cone.push_back(n);
       const GateId drv = c_.net(n).driver;
       if (!drv.valid()) continue;
       for (NetId in : c_.gate(drv).ins) {
-        if (seen[in.index()]) continue;
-        seen[in.index()] = true;
+        if (member[in.index()] != 0) continue;
         if (stop.valid() && in == stop) continue;  // exclude d_{i+1}
+        member[in.index()] = 1;
         stack.push_back(in);
       }
     }
-    return cone;
+    return member;
   }
 
   // --- objective backtrace ----------------------------------------------------
@@ -111,22 +139,15 @@ class FanGuide {
     Weights w;
   };
 
-  [[nodiscard]] std::vector<Candidate> objective_candidates(
-      const ConstraintSystem& cs, const CarrierSet& carriers) const {
-    // Net processing level: topo index of the driver (+1); PIs are 0.
-    // Objectives flow strictly downward in level, so one descending sweep
-    // settles all weights.
-    std::vector<std::uint32_t> level(c_.num_nets(), 0);
-    std::uint32_t max_level = 0;
-    {
-      std::uint32_t idx = 1;
-      for (GateId g : c_.topo_order()) {
-        level[c_.gate(g).out.index()] = idx;
-        max_level = idx;
-        ++idx;
-      }
-    }
-
+  [[nodiscard]] const std::vector<Candidate>& objective_candidates(
+      const ConstraintSystem& cs, const CarrierSet& carriers) {
+    // NOTE: the map is deliberately function-local. Its iteration order
+    // seeds the bucket insertion order below, which in turn fixes the
+    // candidate order and hence tie-breaks between equal-weight decisions;
+    // a reused map would keep its grown bucket count across picks and
+    // enumerate in a different (still deterministic, but history-dependent)
+    // order, changing search traces. A fresh map built by the identical
+    // insertion sequence always enumerates identically.
     std::unordered_map<NetId, Weights> weights;
     // Initial objectives: sensitize Psi. For each gate driving a carrier,
     // steer its non-carrier inputs to the gate's non-controlling value; the
@@ -143,25 +164,26 @@ class FanGuide {
         weights[in].add(want, enabled, opt_.sum_at_fanout);
       }
     }
-    if (weights.empty()) return {};
+    cands_.clear();
+    if (weights.empty()) return cands_;
 
     // Descending-level sweep: stems and primary inputs terminate the
     // backtrace and become candidates; other nets forward their objective
-    // through their driving gate.
-    std::vector<std::vector<NetId>> buckets(max_level + 1);
-    std::vector<bool> queued(c_.num_nets(), false);
+    // through their driving gate. Buckets and queued flags are reused
+    // arenas: emits target strictly lower levels, so each bucket is fully
+    // settled (and can be reset) once its level has been processed.
     auto enqueue = [&](NetId n) {
-      if (!queued[n.index()]) {
-        queued[n.index()] = true;
-        buckets[level[n.index()]].push_back(n);
+      if (queued_[n.index()] == 0) {
+        queued_[n.index()] = 1;
+        buckets_[net_level_[n.index()]].push_back(n);
       }
     };
     for (const auto& [n, w] : weights) enqueue(n);
 
-    std::vector<Candidate> cands;
-    for (std::size_t lv = max_level + 1; lv-- > 0;) {
-      for (std::size_t bi = 0; bi < buckets[lv].size(); ++bi) {
-        const NetId n = buckets[lv][bi];
+    for (std::size_t lv = max_level_ + 1; lv-- > 0;) {
+      std::vector<NetId>& bucket = buckets_[lv];
+      for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
+        const NetId n = bucket[bi];
         const Weights w = weights[n];
         const bool is_stem = c_.net(n).fanouts.size() >= 2;
         const bool is_pi = !c_.net(n).driver.valid();
@@ -169,7 +191,7 @@ class FanGuide {
         // value wanted on a head line is always justifiable later (its
         // cone is fanout-free).
         if (!decided(cs, n) && (is_stem || is_pi || heads_.is_head(n))) {
-          cands.push_back({n, w});
+          cands_.push_back({n, w});
           continue;
         }
         if (is_pi) continue;
@@ -178,8 +200,10 @@ class FanGuide {
           enqueue(in);
         });
       }
+      for (NetId n : bucket) queued_[n.index()] = 0;
+      bucket.clear();
     }
-    return cands;
+    return cands_;
   }
 
   template <class Emit>
@@ -272,13 +296,11 @@ class FanGuide {
 
   [[nodiscard]] std::optional<std::pair<NetId, bool>> best_in(
       const ConstraintSystem& cs, const std::vector<Candidate>& cands,
-      const std::vector<NetId>* region) const {
-    std::unordered_set<NetId> filter;
-    if (region != nullptr) filter.insert(region->begin(), region->end());
+      const std::vector<std::uint8_t>* region) const {
     const Candidate* best = nullptr;
     for (const auto& cand : cands) {
       if (decided(cs, cand.net)) continue;
-      if (region != nullptr && !filter.contains(cand.net)) continue;
+      if (region != nullptr && (*region)[cand.net.index()] == 0) continue;
       if (best == nullptr || cand.w.best() > best->w.best()) best = &cand;
     }
     if (best == nullptr) return std::nullopt;
@@ -428,20 +450,28 @@ class FanGuide {
   TimingCheck check_;
   const Scoap* scoap_;
   CaseAnalysisOptions opt_;
+  CarrierCache* cache_;
   HeadLines heads_;
-  std::vector<std::vector<NetId>> phase1_regions_;
+  std::vector<std::vector<std::uint8_t>> phase1_region_member_;
+
+  // Reused backtrace arenas (pick runs once per search decision).
+  std::vector<std::uint32_t> net_level_;
+  std::uint32_t max_level_ = 0;
+  std::vector<std::vector<NetId>> buckets_;
+  std::vector<std::uint8_t> queued_;
+  std::vector<Candidate> cands_;
 };
 
 /// Fixpoint plus the dominator-implication loop of Figure 4. Returns false
 /// on inconsistency.
 bool propagate(ConstraintSystem& cs, const TimingCheck& check,
-               bool dominators) {
+               bool dominators, CarrierCache* cache) {
   for (;;) {
     if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {
       return false;
     }
     if (!dominators) return true;
-    if (apply_dominator_implications(cs, check) == 0) return true;
+    if (apply_dominator_implications(cs, check, cache) == 0) return true;
   }
 }
 
@@ -466,7 +496,8 @@ std::vector<bool> extract_vector(const ConstraintSystem& cs) {
 CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
                                       const TimingCheck& check,
                                       const Scoap* scoap,
-                                      const CaseAnalysisOptions& opt) {
+                                      const CaseAnalysisOptions& opt,
+                                      CarrierCache* cache) {
   auto& reg = telemetry::Registry::current();
   auto& ctr_decisions = reg.counter("search.decisions");
   auto& ctr_backtracks = reg.counter("search.backtracks");
@@ -477,7 +508,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
 
   CaseAnalysisOutcome out;
   const auto entry = cs.push_state();
-  const FanGuide guide(cs, check, scoap, opt);
+  FanGuide guide(cs, check, scoap, opt, cache);
 
   struct Decision {
     NetId net;
@@ -487,7 +518,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
   };
   std::vector<Decision> stack;
 
-  bool consistent = propagate(cs, check, opt.dominators_in_search);
+  bool consistent = propagate(cs, check, opt.dominators_in_search, cache);
 
   for (;;) {
     if (opt.cancel != nullptr &&
@@ -546,7 +577,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
           return out;
         }
         cs.restrict_domain(d.net, AbstractSignal::class_only(d.cls));
-        consistent = propagate(cs, check, opt.dominators_in_search);
+        consistent = propagate(cs, check, opt.dominators_in_search, cache);
         if (consistent) {
           resumed = true;
           break;
@@ -582,7 +613,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
                                    {"depth", stack.size()}});
     }
     cs.restrict_domain(d.net, AbstractSignal::class_only(d.cls));
-    consistent = propagate(cs, check, opt.dominators_in_search);
+    consistent = propagate(cs, check, opt.dominators_in_search, cache);
   }
 }
 

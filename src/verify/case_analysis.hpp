@@ -67,13 +67,18 @@ struct CaseAnalysisOutcome {
   std::vector<bool> vector;
 };
 
+class CarrierCache;
+
 /// Runs the case analysis on a system already at a fixpoint (typically after
 /// global implications and stem correlation). `scoap` may be null. On
 /// kViolation the system is left at the satisfying state; otherwise it is
-/// restored to the entry state.
+/// restored to the entry state. `cache` (may be null) serves the dynamic
+/// carriers and dominators incrementally; the search behaves identically
+/// with or without it.
 CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
                                       const TimingCheck& check,
                                       const Scoap* scoap,
-                                      const CaseAnalysisOptions& opt = {});
+                                      const CaseAnalysisOptions& opt = {},
+                                      CarrierCache* cache = nullptr);
 
 }  // namespace waveck

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "analysis/carrier_cache.hpp"
 #include "common/telemetry.hpp"
 
 namespace waveck {
@@ -24,7 +24,8 @@ void trace_stem(const ConstraintSystem& cs, NetId stem,
 StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
                                             const TimingCheck& check,
                                             std::span<const NetId> stems,
-                                            std::size_t max_stems) {
+                                            std::size_t max_stems,
+                                            CarrierCache* cache) {
   auto& reg = telemetry::Registry::current();
   auto& ctr_stems = reg.counter("stem.stems_processed");
   auto& ctr_one_sided = reg.counter("stem.one_sided");
@@ -38,19 +39,36 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
 
   // Order stems nearest-to-the-output first: their split prunes the region
   // the violation must come from.
-  CarrierSet carriers = dynamic_carriers(cs, check);
+  CarrierSet local_carriers;
+  const CarrierSet* carriers;
+  if (cache != nullptr) {
+    carriers = &cache->carriers();
+  } else {
+    local_carriers = dynamic_carriers(cs, check);
+    carriers = &local_carriers;
+  }
   std::vector<NetId> work(stems.begin(), stems.end());
-  std::erase_if(work, [&](NetId n) { return !carriers.is_carrier(n); });
+  std::erase_if(work, [&](NetId n) { return !carriers->is_carrier(n); });
   std::sort(work.begin(), work.end(), [&](NetId a, NetId b) {
-    return carriers.distance[a.index()] < carriers.distance[b.index()];
+    return carriers->distance[a.index()] < carriers->distance[b.index()];
   });
   if (work.size() > max_stems) work.resize(max_stems);
+
+  // Branch snapshots live in flat per-net arenas stamped per stem: no
+  // per-stem hashing or node allocation, and only the nets the propagation
+  // actually touched (the trail suffix) are ever written.
+  const std::size_t num_nets = cs.circuit().num_nets();
+  std::vector<AbstractSignal> val0(num_nets), val1(num_nets);
+  std::vector<std::uint32_t> stamp0(num_nets, 0), stamp1(num_nets, 0);
+  std::vector<NetId> changed0;
+  std::uint32_t stem_gen = 0;
 
   for (NetId stem : work) {
     const AbstractSignal& dom = cs.domain(stem);
     if (dom.is_bottom() || dom.single_class()) continue;
 
-    std::unordered_map<NetId, AbstractSignal> branch0;
+    ++stem_gen;
+    changed0.clear();
     bool ok0 = false, ok1 = false;
 
     {
@@ -59,21 +77,29 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
       ok0 = cs.reach_fixpoint() ==
             ConstraintSystem::Status::kPossibleViolation;
       if (ok0) {
-        for (NetId n : cs.changed_since(mark)) {
-          branch0.emplace(n, cs.domain(n));
+        for (std::size_t i = mark; i < cs.trail_size(); ++i) {
+          const NetId n = cs.trail_net(i);
+          if (stamp0[n.index()] != stem_gen) {
+            stamp0[n.index()] = stem_gen;
+            val0[n.index()] = cs.domain(n);
+            changed0.push_back(n);
+          }
         }
       }
       cs.pop_to(mark);
     }
-    std::unordered_map<NetId, AbstractSignal> branch1;
     {
       const auto mark = cs.push_state();
       cs.restrict_domain(stem, AbstractSignal::class_only(true));
       ok1 = cs.reach_fixpoint() ==
             ConstraintSystem::Status::kPossibleViolation;
       if (ok1) {
-        for (NetId n : cs.changed_since(mark)) {
-          branch1.emplace(n, cs.domain(n));
+        for (std::size_t i = mark; i < cs.trail_size(); ++i) {
+          const NetId n = cs.trail_net(i);
+          if (stamp1[n.index()] != stem_gen) {
+            stamp1[n.index()] = stem_gen;
+            val1[n.index()] = cs.domain(n);
+          }
         }
       }
       cs.pop_to(mark);
@@ -102,12 +128,14 @@ StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
     }
     // Both classes alive: D_X := D_X0 u D_X1 for nets narrowed in both
     // branches (a net untouched by a branch keeps its pre-split value there,
-    // so only the intersection of the changed sets can narrow).
+    // so only the intersection of the changed sets can narrow). The
+    // restrictions are intersections, so their application order does not
+    // affect the fixpoint that follows.
     std::size_t narrowed_here = 0;
-    for (const auto& [net, v0] : branch0) {
-      const auto it = branch1.find(net);
-      if (it == branch1.end()) continue;
-      const AbstractSignal united = v0.unite(it->second);
+    for (NetId net : changed0) {
+      if (stamp1[net.index()] != stem_gen) continue;
+      const AbstractSignal united =
+          val0[net.index()].unite(val1[net.index()]);
       if (cs.restrict_domain(net, united)) {
         ++stats.domains_narrowed;
         ++narrowed_here;

@@ -23,13 +23,18 @@ struct StemCorrelationStats {
   bool proved_no_violation = false;
 };
 
+class CarrierCache;
+
 /// Runs stem correlation over `stems` (typically the circuit's reconvergent
 /// fanout stems), skipping nets that are not dynamic carriers or are already
 /// single-class. At most `max_stems` carrier stems (nearest the output
 /// first) are split -- a cost cap for very large circuits. The system must
-/// be at a fixpoint on entry and is left at a fixpoint.
-StemCorrelationStats apply_stem_correlation(
-    ConstraintSystem& cs, const TimingCheck& check,
-    std::span<const NetId> stems, std::size_t max_stems = SIZE_MAX);
+/// be at a fixpoint on entry and is left at a fixpoint. `cache` (may be
+/// null) serves the carrier distances used for stem ordering.
+StemCorrelationStats apply_stem_correlation(ConstraintSystem& cs,
+                                            const TimingCheck& check,
+                                            std::span<const NetId> stems,
+                                            std::size_t max_stems = SIZE_MAX,
+                                            CarrierCache* cache = nullptr);
 
 }  // namespace waveck

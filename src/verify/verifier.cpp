@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include <optional>
+
+#include "analysis/carrier_cache.hpp"
 #include "analysis/delay_correlation.hpp"
 #include "common/telemetry.hpp"
 #include "netlist/topo_delay.hpp"
@@ -216,13 +219,25 @@ CheckReport Verifier::run_check_stages(
     }
   }
 
+  // Incremental carrier/dominator cache for stages 2-4. Constructed after
+  // delay correlation: that stage narrows *gate delays*, which the
+  // constraint system's change log does not track, so the cache must not
+  // observe a pre-correlation circuit. Construction is cheap; the first
+  // query pays the one full build.
+  std::optional<CarrierCache> cache_storage;
+  CarrierCache* cache = nullptr;
+  if (opt_.use_carrier_cache) {
+    cache = &cache_storage.emplace(cs, TimingCheck{s, delta});
+  }
+
   // Stage 2: global implications on dynamic timing dominators (Figure 4).
   if (opt_.use_dominators) {
     auto& ctr_rounds = reg.counter("gitd.rounds");
     rep.after_gitd = StageStatus::kPossible;
     for (;;) {
       ctr_rounds.inc();
-      const std::size_t narrowed = apply_dominator_implications(cs, rep.check);
+      const std::size_t narrowed =
+          apply_dominator_implications(cs, rep.check, cache);
       if (telemetry::trace_enabled()) {
         telemetry::emit("gitd_round", {{"narrowed", narrowed}});
       }
@@ -241,15 +256,14 @@ CheckReport Verifier::run_check_stages(
 
   // Stage 3: stem correlation.
   if (opt_.use_stem_correlation) {
-    const auto stats = apply_stem_correlation(cs, rep.check,
-                                              reconvergent_stems(),
-                                              opt_.max_stems);
+    const auto stats = apply_stem_correlation(
+        cs, rep.check, reconvergent_stems(), opt_.max_stems, cache);
     const bool closed =
         stats.proved_no_violation ||
         (opt_.use_dominators &&
          [&] {  // re-run the dominator loop on the correlated domains
            for (;;) {
-             if (apply_dominator_implications(cs, rep.check) == 0)
+             if (apply_dominator_implications(cs, rep.check, cache) == 0)
                return false;
              if (cs.reach_fixpoint() ==
                  ConstraintSystem::Status::kNoViolation)
@@ -273,7 +287,7 @@ CheckReport Verifier::run_check_stages(
   const Scoap* sc =
       opt_.case_analysis.use_scoap ? &scoap() : nullptr;
   const auto outcome =
-      run_case_analysis(cs, rep.check, sc, opt_.case_analysis);
+      run_case_analysis(cs, rep.check, sc, opt_.case_analysis, cache);
   close_stage("stage.case_analysis", rep.stage_seconds.case_analysis);
   switch (outcome.result) {
     case CaseResult::kViolation:

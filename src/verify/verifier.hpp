@@ -41,6 +41,12 @@ struct VerifyOptions {
   bool use_stem_correlation = true;  // stage 3
   std::size_t max_stems = SIZE_MAX;  // stage-3 cost cap for huge circuits
   bool use_case_analysis = true;     // stage 4
+  /// Serve dynamic carriers / timing dominators from the incremental
+  /// CarrierCache instead of recomputing per query. Pure optimisation:
+  /// reports are identical either way (the `cache_equivalence` fuzz
+  /// property enforces this); off switches every stage to the
+  /// from-scratch functions.
+  bool use_carrier_cache = true;
   CaseAnalysisOptions case_analysis;
   LearningOptions learning;
 };

@@ -1,0 +1,120 @@
+// Randomized equivalence test for the incremental CarrierCache: after any
+// interleaving of domain narrowings, fixpoints, push_state/pop_to and
+// inconsistency episodes, the cached carriers()/dominators() must be
+// bit-for-bit the from-scratch dynamic_carriers()/timing_dominators().
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/carrier_cache.hpp"
+#include "analysis/carriers.hpp"
+#include "constraints/constraint_system.hpp"
+#include "gen/generators.hpp"
+#include "netlist/topo_delay.hpp"
+
+namespace waveck {
+namespace {
+
+/// A random domain restriction of the kinds the real search applies:
+/// final-class decisions, Corollary-1 timing cuts, and stability bounds.
+AbstractSignal random_restriction(std::mt19937_64& rng, std::int64_t t_max) {
+  std::uniform_int_distribution<std::int64_t> t_dist(0, t_max);
+  switch (rng() % 3) {
+    case 0:
+      return AbstractSignal::class_only((rng() & 1) != 0);
+    case 1:
+      return AbstractSignal::violating(Time(t_dist(rng)));
+    default:
+      return AbstractSignal::floating_input(Time(t_dist(rng)));
+  }
+}
+
+void expect_cache_matches(ConstraintSystem& cs, const TimingCheck& check,
+                          CarrierCache& cache, int step) {
+  const CarrierSet fresh = dynamic_carriers(cs, check);
+  EXPECT_EQ(cache.carriers().distance, fresh.distance)
+      << "carrier mismatch at step " << step;
+  const std::vector<NetId> fresh_doms =
+      cs.inconsistent() ? std::vector<NetId>{}
+                        : timing_dominators(cs.circuit(), check, fresh);
+  EXPECT_EQ(cache.dominators(), fresh_doms)
+      << "dominator mismatch at step " << step;
+}
+
+void run_random_trace(std::uint64_t seed) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = seed;
+  cfg.inputs = 6;
+  cfg.gates = 48;
+  cfg.outputs = 3;
+  cfg.false_path_blocks = 2;
+  cfg.delay_intervals = (seed & 1) != 0;
+  const Circuit c = gen::structured_random_circuit(cfg);
+
+  const Time topo = topological_delay(c);
+  const std::int64_t t = topo.is_finite() ? topo.value() : 1;
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+
+  for (NetId s : c.outputs()) {
+    for (std::int64_t d : {t / 2, t}) {
+      const TimingCheck check{s, Time(d)};
+      ConstraintSystem cs(c);
+      CarrierCache cache(cs, check);
+      std::vector<ConstraintSystem::Mark> marks;
+      marks.push_back(cs.push_state());
+
+      std::uniform_int_distribution<std::size_t> net_dist(0,
+                                                          c.num_nets() - 1);
+      for (int step = 0; step < 120; ++step) {
+        const unsigned roll = rng() % 10;
+        if (cs.inconsistent() || (roll >= 8 && marks.size() > 1)) {
+          // Backtrack to a random earlier mark (always to a consistent
+          // state; the trail restores flow through the change log too).
+          std::uniform_int_distribution<std::size_t> pick(0,
+                                                          marks.size() - 1);
+          const std::size_t i = pick(rng);
+          cs.pop_to(marks[i]);
+          marks.resize(i + 1);
+        } else if (roll >= 6) {
+          marks.push_back(cs.push_state());
+        } else {
+          const NetId n{static_cast<std::uint32_t>(net_dist(rng))};
+          cs.restrict_domain(n, random_restriction(rng, t + 2));
+          cs.reach_fixpoint();
+        }
+        // Skipping some queries lets several commits/restores accumulate in
+        // the change log, exercising the batched cone rebuild.
+        if (rng() % 10 < 6) expect_cache_matches(cs, check, cache, step);
+        if (::testing::Test::HasFailure()) return;
+      }
+      expect_cache_matches(cs, check, cache, -1);
+    }
+  }
+}
+
+TEST(CarrierCache, MatchesFromScratchSeed1) { run_random_trace(1); }
+TEST(CarrierCache, MatchesFromScratchSeed2) { run_random_trace(2); }
+TEST(CarrierCache, MatchesFromScratchSeed3) { run_random_trace(3); }
+TEST(CarrierCache, MatchesFromScratchSeed4) { run_random_trace(4); }
+TEST(CarrierCache, MatchesFromScratchSeed5) { run_random_trace(5); }
+
+// The degenerate netlists the fuzz shrinker emits: checked output is a
+// primary input (possibly undeclared as an output).
+TEST(CarrierCache, OutputIsPrimaryInput) {
+  gen::StructuredCircuitConfig cfg;
+  cfg.seed = 11;
+  cfg.gates = 12;
+  const Circuit c = gen::structured_random_circuit(cfg);
+  const NetId in = c.inputs().front();
+  const TimingCheck check{in, Time(1)};
+  ConstraintSystem cs(c);
+  CarrierCache cache(cs, check);
+  expect_cache_matches(cs, check, cache, 0);
+  cs.restrict_domain(in, AbstractSignal::violating(Time(2)));
+  cs.reach_fixpoint();
+  expect_cache_matches(cs, check, cache, 1);
+}
+
+}  // namespace
+}  // namespace waveck

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "gen/iscas_suite.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;  // timed serial runs per row (--repeat)
   std::string upto;        // stop after the first entry matching this prefix
   std::string json_path = "BENCH_table1.json";
+  std::string trace_path;  // --trace: JSONL capture of one extra run per row
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -47,11 +49,23 @@ int main(int argc, char** argv) {
       if (repeat == 0) repeat = 1;
     } else if (arg == "--upto" && i + 1 < argc) {
       upto = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::cerr << "usage: bench_table1 [--quick] [--json [FILE]] "
-                   "[--jobs [N]] [--repeat N] [--upto NAME]\n";
+                   "[--jobs [N]] [--repeat N] [--upto NAME] "
+                   "[--trace FILE.jsonl]\n";
       return 2;
     }
+  }
+
+  // --trace: every row gets one *extra* run with the sink installed (the
+  // timed runs stay untraced so wall clocks match untraced benches); the
+  // row's trace_lines is the event count of its capture, which `waveck
+  // explain` cross-checks against the row's backtrack/decision tallies.
+  std::unique_ptr<telemetry::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
   }
 
   std::cout << "E3: Table 1 -- ISCAS'85-class suite, NOR implementation, "
@@ -93,6 +107,15 @@ int main(int argc, char** argv) {
       return rep;
     };
 
+    const auto traced_check = [&](Time delta) -> std::int64_t {
+      if (!trace_sink) return -1;
+      const std::uint64_t before = trace_sink->events_written();
+      telemetry::set_trace_sink(trace_sink.get());
+      (void)v.check_circuit(delta);
+      telemetry::set_trace_sink(nullptr);
+      return static_cast<std::int64_t>(trace_sink->events_written() - before);
+    };
+
     // Row 1: delta_E + 1 (the proof row; printed second in the paper's
     // order, which lists the just-failing delta first for some circuits --
     // we keep proof-then-witness order).
@@ -100,11 +123,13 @@ int main(int argc, char** argv) {
     auto row_above = row_from_suite(entry.name, top, exact.delay + 1, "",
                                     above);
     row_above.seconds_min = min_above;
+    row_above.trace_lines = traced_check(exact.delay + 1);
 
     // Row 2: delta_E (witness row).
     const auto at = timed_check(exact.delay, min_at);
     auto row_at = row_from_suite(entry.name, top, exact.delay, kind, at);
     row_at.seconds_min = min_at;
+    row_at.trace_lines = traced_check(exact.delay);
 
     if (jobs > 0) {
       // Parallel pass: the same two suite checks through the scheduler.

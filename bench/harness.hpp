@@ -56,6 +56,10 @@ struct Table1Row {
   /// witness). Part of the CI bench-regression key: the *same* vector must
   /// keep reproducing, not just some vector.
   std::string witness;
+  /// Trace events captured for this row's extra traced run (bench_table1
+  /// --trace); < 0 = tracing off. Never set on the timed runs, so wall
+  /// clocks stay comparable with untraced benches.
+  std::int64_t trace_lines = -1;
 };
 
 inline void print_table1_header() {
@@ -150,6 +154,7 @@ inline void write_table1_json(const std::string& path,
       os << ",\"seconds_parallel\":" << r.seconds_parallel;
     }
     if (r.seconds_min >= 0) os << ",\"seconds_min\":" << r.seconds_min;
+    if (r.trace_lines >= 0) os << ",\"trace_lines\":" << r.trace_lines;
     os << ",\"witness\":\"" << esc(r.witness) << "\"";
     os << ",\"stage_seconds\":{"
        << "\"narrowing\":" << r.stage_seconds.narrowing

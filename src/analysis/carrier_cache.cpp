@@ -124,10 +124,16 @@ void CarrierCache::sync() {
     built_ = true;
     synced_gen_ = gen;
     ctr_misses_.inc();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("cache", {{"kind", "miss"}});
+    }
     return;
   }
   if (synced_gen_ == gen) {
     ctr_hits_.inc();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("cache", {{"kind", "hit"}});
+    }
     return;
   }
   // A domain change matters only if it flips the Def. 7 status under the
@@ -142,9 +148,15 @@ void CarrierCache::sync() {
   synced_gen_ = gen;
   if (flips_.empty()) {
     ctr_hits_.inc();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("cache", {{"kind", "hit"}});
+    }
     return;
   }
   ctr_misses_.inc();
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("cache", {{"kind", "miss"}});
+  }
   rebuild_cone();
 }
 
@@ -165,6 +177,9 @@ const std::vector<NetId>& CarrierCache::dominators() {
     doms_ = timing_dominators(cs_.circuit(), check_, set_, dom_scratch_);
     doms_valid_ = true;
     ctr_dom_rebuilds_.inc();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("cache", {{"kind", "dom_rebuild"}});
+    }
   }
   return doms_;
 }

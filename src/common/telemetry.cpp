@@ -13,6 +13,8 @@ std::atomic<TraceSink*> g_trace_sink{nullptr};
 namespace {
 thread_local Registry* t_registry = nullptr;
 thread_local int t_worker_id = 0;
+thread_local SpanContext t_span;
+std::atomic<std::int64_t> g_next_check_id{0};
 }  // namespace
 
 void set_trace_sink(TraceSink* sink) {
@@ -21,6 +23,16 @@ void set_trace_sink(TraceSink* sink) {
 
 int worker_id() { return t_worker_id; }
 void set_worker_id(int id) { t_worker_id = id; }
+
+SpanContext& span_context() { return t_span; }
+
+ScopedCheckSpan::ScopedCheckSpan()
+    : id_(g_next_check_id.fetch_add(1, std::memory_order_relaxed) + 1),
+      prev_(t_span) {
+  t_span = SpanContext{id_, -1};
+}
+
+ScopedCheckSpan::~ScopedCheckSpan() { t_span = prev_; }
 
 Registry& Registry::global() {
   static Registry instance;
@@ -73,7 +85,11 @@ void Registry::merge_from(const Registry& other) {
   // structural lock. Lock order global-then-worker is the only one used.
   const std::scoped_lock other_lock(other.mu_);
   for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
-  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauge(name);
+    mine.add(g.value());
+    mine.raise_high_water(g.high_water());  // peak = max over workers
+  }
   for (const auto& [name, h] : other.histograms_) {
     histogram(name).merge_from(h);
   }
@@ -96,7 +112,8 @@ std::string Registry::to_json() const {
   first = true;
   for (const auto& [name, g] : gauges_) {
     os << (first ? "" : ",") << '"' << json_escape(name)
-       << "\":" << g.value();
+       << "\":{\"value\":" << g.value() << ",\"max\":" << g.high_water()
+       << "}";
     first = false;
   }
   os << "},\"timers\":{";
@@ -172,6 +189,9 @@ void JsonlTraceSink::event(std::string_view name,
   // from concurrent workers stay valid JSONL (one object per line).
   std::ostringstream line;
   line << ",\"t\":" << t << ",\"w\":" << worker_id();
+  const SpanContext& span = span_context();
+  if (span.chk >= 0) line << ",\"chk\":" << span.chk;
+  if (span.dec >= 0) line << ",\"dec\":" << span.dec;
   for (const TraceField& f : fields) {
     line << ",\"" << json_escape(f.key) << "\":";
     switch (f.kind) {

@@ -53,18 +53,41 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-/// A value that can move both ways (queue depth, search depth, ...).
+/// A value that can move both ways (queue depth, search depth, ...). Also
+/// tracks its high-water mark: the largest value ever observed by set()/add()
+/// since construction (or reset()), maintained with a relaxed CAS-max so a
+/// gauge that snapshots back to 0 between reports still carries its peak.
 class Gauge {
  public:
-  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
-  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    raise_high_water(v);
+  }
+  void add(std::int64_t d) {
+    raise_high_water(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
   [[nodiscard]] std::int64_t value() const {
     return v_.load(std::memory_order_relaxed);
   }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t high_water() const {
+    return hw_.load(std::memory_order_relaxed);
+  }
+  /// Folds an externally observed peak in (Registry::merge_from takes the
+  /// max over worker peaks). Never lowers the mark.
+  void raise_high_water(std::int64_t v) {
+    std::int64_t cur = hw_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !hw_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    hw_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> hw_{0};
 };
 
 /// Fixed-bucket power-of-two histogram for small non-negative magnitudes
@@ -351,6 +374,35 @@ void set_trace_sink(TraceSink* sink);
 [[nodiscard]] int worker_id();
 void set_worker_id(int id);
 
+/// The calling thread's open trace span. `chk` is the id of the enclosing
+/// timing check (-1 outside any check), `dec` the id of the FAN decision
+/// subtree the engine is currently working under (-1 at the search root).
+/// JsonlTraceSink stamps both into every line when set, which is how deep
+/// events (`propagate`, `conflict`, `cache`) get attributed to a check and
+/// decision without threading ids through the hot call sites.
+struct SpanContext {
+  std::int64_t chk = -1;
+  std::int64_t dec = -1;
+};
+[[nodiscard]] SpanContext& span_context();
+
+/// RAII for the check-level span: allocates a process-unique 1-based check
+/// id, installs it as the thread's span context (with `dec` cleared), and
+/// restores the previous context on destruction.
+class ScopedCheckSpan {
+ public:
+  ScopedCheckSpan();
+  ScopedCheckSpan(const ScopedCheckSpan&) = delete;
+  ScopedCheckSpan& operator=(const ScopedCheckSpan&) = delete;
+  ~ScopedCheckSpan();
+
+  [[nodiscard]] std::int64_t id() const { return id_; }
+
+ private:
+  std::int64_t id_;
+  SpanContext prev_;
+};
+
 /// Emits an event iff a sink is installed. Call sites that compute field
 /// values (names, deltas) should guard on `trace_enabled()` themselves so
 /// the disabled path pays only the branch.
@@ -363,9 +415,11 @@ inline void emit(std::string_view name,
 
 /// Streams events as JSON Lines: one object per event, first keys always
 /// "ev" (event name), "seq" (1-based sequence number), "t" (ns since the
-/// sink was created) and "w" (emitting worker id), then the producer fields
-/// in order. Lines are formatted into a local buffer and written under a
-/// mutex, so events from concurrent workers never interleave mid-line.
+/// sink was created) and "w" (emitting worker id), then — when the emitting
+/// thread has an open span — "chk" (check id) and "dec" (decision id), then
+/// the producer fields in order. Lines are formatted into a local buffer
+/// and written under a mutex, so events from concurrent workers never
+/// interleave mid-line.
 class JsonlTraceSink final : public TraceSink {
  public:
   /// Borrows `os`; the stream must outlive the sink.

@@ -26,7 +26,11 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       lh_queue_depth_(
           telemetry::Registry::current().histogram("engine.queue_depth")),
       lh_narrowing_magnitude_(telemetry::Registry::current().histogram(
-          "engine.narrowing_magnitude")) {
+          "engine.narrowing_magnitude")),
+      g_trail_depth_(telemetry::Registry::current().gauge("engine.trail_depth")),
+      g_queue_depth_(telemetry::Registry::current().gauge("engine.queue_depth")),
+      g_arena_bytes_(
+          telemetry::Registry::current().gauge("engine.arena_bytes")) {
   // Longest-path gate levels: level(g) = 1 + max level over driven inputs.
   std::uint32_t max_lv = 0;
   for (GateId g : circuit.topo_order()) {
@@ -166,6 +170,7 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
       applications_ + 1000ull * std::max<std::size_t>(circuit_.num_gates(),
                                                       10000);
   Status status = Status::kPossibleViolation;
+  std::size_t peak_queue = queue_size_;
   while (queue_size_ > 0) {
     while (buckets_[cursor_].empty()) ++cursor_;
     std::vector<GateId>& bucket = buckets_[cursor_];
@@ -174,6 +179,7 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
     in_queue_[g.index()] = 0;
     // Wave width at this drain step (the popped gate included).
     lh_queue_depth_.observe(queue_size_);
+    if (queue_size_ > peak_queue) peak_queue = queue_size_;
     --queue_size_;
     apply_gate(g);
     if (inconsistent()) {
@@ -193,6 +199,11 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   h_fixpoint_narrowings_.observe(narrowings_ - nar0);
   lh_queue_depth_.flush();
   lh_narrowing_magnitude_.flush();
+  // High-water gauges, once per fixpoint: their `max` accumulates the
+  // whole-run peak even though `value` is only the latest observation.
+  g_trail_depth_.set(static_cast<std::int64_t>(trail_.size()));
+  g_queue_depth_.set(static_cast<std::int64_t>(peak_queue));
+  g_arena_bytes_.set(static_cast<std::int64_t>(arena_bytes()));
   if (telemetry::trace_enabled()) {
     telemetry::emit(
         "propagate",

@@ -209,6 +209,24 @@ class ConstraintSystem {
   telemetry::Histogram& h_fixpoint_narrowings_;
   telemetry::LocalHistogram lh_queue_depth_;
   telemetry::LocalHistogram lh_narrowing_magnitude_;
+
+  // High-water gauges, set once per reach_fixpoint exit (their `max` field
+  // in registry snapshots is the whole-run peak; see doc/OBSERVABILITY.md).
+  telemetry::Gauge& g_trail_depth_;
+  telemetry::Gauge& g_queue_depth_;
+  telemetry::Gauge& g_arena_bytes_;
+
+  /// Bytes held by the principal growable arenas (trail, domains, queue
+  /// bookkeeping, change log). O(1): capacities only, buckets excluded.
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return trail_.capacity() * sizeof(TrailEntry) +
+           domains_.capacity() * sizeof(AbstractSignal) +
+           save_epoch_.capacity() * sizeof(std::uint64_t) +
+           in_queue_.capacity() * sizeof(std::uint8_t) +
+           gate_level_.capacity() * sizeof(std::uint32_t) +
+           change_log_.capacity() * sizeof(NetId) +
+           log_stamp_.capacity() * sizeof(std::uint64_t);
+  }
 };
 
 }  // namespace waveck

@@ -1,0 +1,190 @@
+#include "explain/chrome_export.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/telemetry.hpp"
+#include "explain/trace_reader.hpp"
+
+namespace waveck::explain {
+
+namespace {
+
+/// Emits one chrome event object per line, comma-separating after the
+/// first. All events share pid 1; tid is the waveck worker id.
+class ChromeWriter {
+ public:
+  explicit ChromeWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"traceEvents\":[\n";
+  }
+
+  void finish(std::size_t* events_out) {
+    out_ << "\n]}\n";
+    if (events_out != nullptr) *events_out = count_;
+  }
+
+  /// Declares the thread-name metadata for `w` once.
+  void declare_worker(std::int64_t w) {
+    if (!seen_workers_.insert(w).second) return;
+    const std::string name = w == 0 ? "main" : "worker " + std::to_string(w);
+    open(R"("ph":"M","name":"thread_name")", w, -1);
+    out_ << ",\"args\":{\"name\":\"" << name << "\"}";
+    close();
+    // Sort the main thread first, workers in id order.
+    open(R"("ph":"M","name":"thread_sort_index")", w, -1);
+    out_ << ",\"args\":{\"sort_index\":" << w << "}";
+    close();
+  }
+
+  void duration_begin(const TraceEvent& e, const std::string& name,
+                      const char* cat) {
+    begin_event("B", e, name, cat);
+    close();
+  }
+  void duration_begin_args(const TraceEvent& e, const std::string& name,
+                           const char* cat, const std::string& args) {
+    begin_event("B", e, name, cat);
+    out_ << ",\"args\":{" << args << "}";
+    close();
+  }
+  void duration_end(const TraceEvent& e, const std::string& args) {
+    open(R"("ph":"E")", e.w, e.t);
+    if (!args.empty()) out_ << ",\"args\":{" << args << "}";
+    close();
+  }
+  void instant(const TraceEvent& e, const std::string& name, const char* cat,
+               const std::string& args) {
+    begin_event("i", e, name, cat);
+    out_ << ",\"s\":\"t\"";
+    if (!args.empty()) out_ << ",\"args\":{" << args << "}";
+    close();
+  }
+  void counter(const TraceEvent& e, const std::string& name,
+               const std::string& args) {
+    begin_event("C", e, name, "engine");
+    out_ << ",\"args\":{" << args << "}";
+    close();
+  }
+
+ private:
+  void begin_event(const char* ph, const TraceEvent& e,
+                   const std::string& name, const char* cat) {
+    open_raw();
+    out_ << "\"ph\":\"" << ph << "\",\"name\":\""
+         << telemetry::json_escape(name) << "\",\"cat\":\"" << cat << '"';
+    stamp(e.w, e.t);
+  }
+  void open(const char* head, std::int64_t w, std::int64_t t) {
+    open_raw();
+    out_ << head;
+    stamp(w, t);
+  }
+  void open_raw() {
+    if (count_ > 0) out_ << ",\n";
+    out_ << '{';
+    ++count_;
+  }
+  void stamp(std::int64_t w, std::int64_t t) {
+    out_ << ",\"pid\":1,\"tid\":" << w;
+    if (t >= 0) {
+      // Sink timestamps are ns; chrome wants microseconds.
+      std::ostringstream ts;
+      ts << (static_cast<double>(t) / 1000.0);
+      out_ << ",\"ts\":" << ts.str();
+    } else {
+      out_ << ",\"ts\":0";
+    }
+  }
+  void close() { out_ << '}'; }
+
+  std::ostream& out_;
+  std::size_t count_ = 0;
+  std::set<std::int64_t> seen_workers_;
+};
+
+std::string search_args(const TraceEvent& e) {
+  std::string a = "\"dec\":" + std::to_string(e.dec);
+  a += ",\"depth\":" + std::to_string(e.num("depth", 0));
+  return a;
+}
+
+}  // namespace
+
+ChromeExportStats write_chrome_trace(std::istream& in, std::ostream& out) {
+  ChromeExportStats stats;
+  ChromeWriter w(out);
+  std::set<std::int64_t> workers;
+  TraceReader reader(in);
+  TraceEvent e;
+  while (reader.next(e)) {
+    ++stats.events_in;
+    w.declare_worker(e.w);
+    workers.insert(e.w);
+
+    if (e.ev == "batch_begin") {
+      // Pre-declare every pool track so an idle worker still shows up.
+      const std::int64_t jobs = e.num("jobs", 0);
+      for (std::int64_t i = 1; i <= jobs; ++i) w.declare_worker(i);
+      w.duration_begin_args(e, "batch", "sched",
+                            "\"jobs\":" + std::to_string(jobs) +
+                                ",\"checks\":" +
+                                std::to_string(e.num("checks", 0)));
+    } else if (e.ev == "batch_end") {
+      w.duration_end(e, "\"checks_skipped\":" +
+                            std::to_string(e.num("checks_skipped", 0)));
+    } else if (e.ev == "check_begin") {
+      w.duration_begin_args(
+          e, "check " + std::string(e.str("output")), "check",
+          "\"chk\":" + std::to_string(e.chk) +
+              ",\"delta\":" + std::to_string(e.num("delta", 0)));
+    } else if (e.ev == "check_end") {
+      w.duration_end(e, "\"conclusion\":\"" +
+                            telemetry::json_escape(e.str("conclusion")) +
+                            "\"");
+    } else if (e.ev == "stage_begin") {
+      w.duration_begin(e, "stage " + std::string(e.str("stage")), "stage");
+    } else if (e.ev == "stage_end") {
+      w.duration_end(e, "\"status\":\"" +
+                            telemetry::json_escape(e.str("status")) + "\"");
+    } else if (e.ev == "decision") {
+      w.duration_begin_args(
+          e,
+          "decide " + std::string(e.str("net")) + "=" +
+              (e.find("cls") != nullptr && e.find("cls")->b ? "1" : "0"),
+          "search",
+          search_args(e) + ",\"parent\":" +
+              std::to_string(e.num("parent", -1)));
+    } else if (e.ev == "decision_close") {
+      w.duration_end(e, "\"outcome\":\"" +
+                            telemetry::json_escape(e.str("outcome")) + "\"");
+    } else if (e.ev == "backtrack") {
+      w.instant(e, "backtrack " + std::string(e.str("net")), "search",
+                search_args(e));
+    } else if (e.ev == "conflict") {
+      w.instant(e, "conflict", "search",
+                "\"depth\":" + std::to_string(e.num("depth", 0)));
+    } else if (e.ev == "propagate") {
+      // One counter series per worker track.
+      w.counter(e, "fixpoint w" + std::to_string(e.w),
+                "\"applications\":" +
+                    std::to_string(e.num("applications", 0)) +
+                    ",\"revisions\":" + std::to_string(e.num("revisions", 0)));
+    } else if (e.ev == "cache") {
+      w.instant(e, "cache " + std::string(e.str("kind")), "cache", "");
+    } else {
+      // stem, gitd_round, spurious_vector, delay_corr_round, fuzz_*:
+      // generic instants keep the timeline complete.
+      w.instant(e, std::string(e.ev), "misc", "");
+    }
+  }
+  if (!reader.error().empty()) {
+    throw std::runtime_error(reader.error());
+  }
+  w.finish(&stats.events_out);
+  stats.workers = workers.size();
+  return stats;
+}
+
+}  // namespace waveck::explain

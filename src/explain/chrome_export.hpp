@@ -1,0 +1,22 @@
+// Chrome trace-event (about://tracing, Perfetto) export of a waveck JSONL
+// trace. One track ("tid") per worker id: checks, pipeline stages and
+// decision subtrees become nested duration events; backtracks, conflicts
+// and cache probes become instants; fixpoint work becomes a counter series.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+namespace waveck::explain {
+
+struct ChromeExportStats {
+  std::size_t events_in = 0;   // trace lines consumed
+  std::size_t events_out = 0;  // chrome events written (metadata included)
+  std::size_t workers = 0;     // distinct tracks
+};
+
+/// Streams `in` (JSONL trace) into `out` as a chrome trace-event JSON array.
+/// Malformed input throws std::runtime_error (the CLI reports and exits 2).
+ChromeExportStats write_chrome_trace(std::istream& in, std::ostream& out);
+
+}  // namespace waveck::explain

@@ -1,0 +1,152 @@
+#include "explain/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "analysis/carriers.hpp"
+#include "constraints/constraint_system.hpp"
+#include "sim/floating_sim.hpp"
+#include "waveform/abstract_waveform.hpp"
+
+namespace waveck::explain {
+
+namespace {
+
+std::string dot_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Critical path of the witness under floating simulation: from the checked
+/// output backwards, always through the latest-settling input pin.
+std::vector<NetId> witness_path(const Circuit& c, NetId s,
+                                const FloatingResult& fr) {
+  std::vector<NetId> path{s};
+  NetId cur = s;
+  while (c.net(cur).driver.valid()) {
+    const Gate& g = c.gate(c.net(cur).driver);
+    NetId best;
+    for (NetId in : g.ins) {
+      if (!best.valid() ||
+          fr.settle[in.index()] > fr.settle[best.index()]) {
+        best = in;
+      }
+    }
+    if (!best.valid()) break;  // constant gate
+    path.push_back(best);
+    cur = best;
+  }
+  std::reverse(path.begin(), path.end());  // input first, like PathEnum
+  return path;
+}
+
+}  // namespace
+
+std::optional<std::vector<bool>> parse_vector(const std::string& s) {
+  std::vector<bool> v;
+  v.reserve(s.size());
+  for (const char c : s) {
+    if (c == '0') v.push_back(false);
+    else if (c == '1') v.push_back(true);
+    else return std::nullopt;
+  }
+  return v;
+}
+
+DotResult carrier_dot(const Circuit& c, const std::string& output, Time delta,
+                      const DotOptions& opt) {
+  const std::optional<NetId> s = c.find_net(output);
+  if (!s.has_value()) {
+    throw std::runtime_error("no net named \"" + output + "\" in circuit \"" +
+                             c.name() + "\"");
+  }
+  const TimingCheck check{*s, delta};
+
+  // The carrier DAG as the search sees it right after seeding the
+  // violation hypothesis (the same state the first GITD round refines).
+  ConstraintSystem cs(c);
+  cs.restrict_domain(*s, AbstractSignal::violating(delta));
+  cs.reach_fixpoint();
+  const CarrierSet carriers = dynamic_carriers(cs, check);
+  const std::vector<NetId> doms = timing_dominators(c, check, carriers);
+  std::unordered_set<std::uint32_t> dom_set;
+  for (NetId d : doms) dom_set.insert(d.value());
+
+  // Witness critical path (if the caller has one).
+  std::vector<NetId> path;
+  if (opt.witness.has_value() &&
+      opt.witness->size() == c.inputs().size()) {
+    path = witness_path(c, *s, simulate_floating(c, *opt.witness));
+  }
+  std::unordered_set<std::uint32_t> path_set;
+  for (NetId n : path) path_set.insert(n.value());
+
+  const auto included = [&](NetId n) {
+    return carriers.is_carrier(n) || path_set.contains(n.value());
+  };
+
+  DotResult res;
+  res.carrier_nets = carriers.count();
+  res.dominators = doms.size();
+  res.path_nets = path.size();
+
+  std::ostringstream dot;
+  dot << "// waveck carrier circuit: check (" << output << ", "
+      << delta.str() << ")\n";
+  dot << "// carriers=" << res.carrier_nets << " dominators="
+      << res.dominators;
+  if (!path.empty()) dot << " witness_path=" << res.path_nets;
+  dot << "\ndigraph carriers {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=ellipse, fontname=\"Helvetica\", fontsize=10];\n";
+
+  for (std::size_t i = 0; i < c.num_nets(); ++i) {
+    const NetId n{static_cast<std::uint32_t>(i)};
+    if (!included(n)) continue;
+    dot << "  n" << i << " [label=\"" << dot_escape(c.net(n).name);
+    if (carriers.is_carrier(n)) {
+      dot << "\\nk=" << carriers.distance[i].str();
+    }
+    dot << '"';
+    if (n == *s) dot << ", shape=doublecircle";
+    if (dom_set.contains(n.value())) {
+      dot << ", style=filled, fillcolor=\"#bfdbfe\", penwidth=2";
+    }
+    if (path_set.contains(n.value())) dot << ", color=red";
+    dot << "];\n";
+  }
+
+  // Path edges are the consecutive pairs of the witness path; everything
+  // else included is a plain carrier-DAG edge.
+  std::unordered_set<std::uint64_t> path_edges;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    path_edges.insert((std::uint64_t{path[i].value()} << 32) |
+                      path[i + 1].value());
+  }
+  for (GateId g : c.topo_order()) {
+    const Gate& gate = c.gate(g);
+    if (!included(gate.out)) continue;
+    for (NetId in : gate.ins) {
+      if (!included(in)) continue;
+      dot << "  n" << in.index() << " -> n" << gate.out.index()
+          << " [label=\"" << to_string(gate.type) << '"';
+      if (path_edges.contains((std::uint64_t{in.value()} << 32) |
+                              gate.out.value())) {
+        dot << ", color=red, penwidth=2";
+      }
+      dot << "];\n";
+    }
+  }
+  dot << "}\n";
+  res.dot = dot.str();
+  return res;
+}
+
+}  // namespace waveck::explain

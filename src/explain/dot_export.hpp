@@ -1,0 +1,44 @@
+// Graphviz DOT export of the dynamic carrier circuit of one timing check
+// (paper Defs. 5/7): carrier nets with their distance-to-output, timing
+// dominators highlighted, and — when the check found a witness vector —
+// the critical path of that vector's floating simulation drawn in red.
+//
+// The trace records the check (output, delta, witness vector) but not the
+// netlist, so rendering needs the circuit the trace was produced from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netlist/circuit.hpp"
+
+namespace waveck::explain {
+
+struct DotOptions {
+  /// Witness input vector ("0101..." over c.inputs() order), if the check
+  /// concluded with a violation.
+  std::optional<std::vector<bool>> witness;
+};
+
+struct DotResult {
+  std::string dot;
+  std::size_t carrier_nets = 0;
+  std::size_t dominators = 0;
+  std::size_t path_nets = 0;  // witness critical path length (0: no witness)
+};
+
+/// Renders the dynamic-carrier DAG of check (output, delta) after the
+/// initial violation-seeded fixpoint. `output` names a net of `c`; throws
+/// std::runtime_error if it does not exist.
+[[nodiscard]] DotResult carrier_dot(const Circuit& c,
+                                    const std::string& output, Time delta,
+                                    const DotOptions& opt = {});
+
+/// Parses a witness vector string of '0'/'1' (as emitted in the trace's
+/// check_end "vector" field). Returns nullopt on any other character.
+[[nodiscard]] std::optional<std::vector<bool>> parse_vector(
+    const std::string& s);
+
+}  // namespace waveck::explain

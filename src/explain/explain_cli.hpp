@@ -1,0 +1,18 @@
+// `waveck explain` driver: turns a JSONL trace into a human report, a JSON
+// report, a chrome trace, per-check carrier DOT files, or a canonical
+// (timestamp-free) normalisation for byte-exact trace diffing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace waveck::explain {
+
+/// Runs `waveck explain ARGS...` (ARGS excludes the command word).
+/// Exit codes: 0 = clean; 1 = the trace is structurally damaged (analyzer
+/// warnings were printed); 2 = usage / file / parse error.
+int explain_cli_main(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err);
+
+}  // namespace waveck::explain

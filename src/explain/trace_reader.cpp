@@ -1,0 +1,268 @@
+#include "explain/trace_reader.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace waveck::explain {
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Parses a JSON string starting at s[i] == '"'. Fills `v.raw` (with quotes)
+/// and `v.str` (unescaped). Returns false on malformed escapes / truncation.
+bool parse_string(std::string_view s, std::size_t& i, TraceValue& v,
+                  std::string& err) {
+  const std::size_t start = i;
+  ++i;  // opening quote
+  v.kind = TraceValue::Kind::kString;
+  v.str.clear();
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      v.raw.assign(s.substr(start, i - start));
+      return true;
+    }
+    if (c != '\\') {
+      v.str.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= s.size()) break;
+    const char e = s[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': v.str.push_back('"'); break;
+      case '\\': v.str.push_back('\\'); break;
+      case '/': v.str.push_back('/'); break;
+      case 'b': v.str.push_back('\b'); break;
+      case 'f': v.str.push_back('\f'); break;
+      case 'n': v.str.push_back('\n'); break;
+      case 'r': v.str.push_back('\r'); break;
+      case 't': v.str.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 > s.size()) {
+          err = "truncated \\u escape";
+          return false;
+        }
+        unsigned cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[i + k];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+          else {
+            err = "bad \\u escape digit";
+            return false;
+          }
+        }
+        i += 4;
+        append_utf8(v.str, cp);
+        break;
+      }
+      default:
+        err = "unknown escape sequence";
+        return false;
+    }
+  }
+  err = "unterminated string";
+  return false;
+}
+
+bool parse_value(std::string_view s, std::size_t& i, TraceValue& v,
+                 std::string& err) {
+  if (i >= s.size()) {
+    err = "missing value";
+    return false;
+  }
+  const char c = s[i];
+  if (c == '"') return parse_string(s, i, v, err);
+  if (c == 't' && s.substr(i, 4) == "true") {
+    v.kind = TraceValue::Kind::kBool;
+    v.b = true;
+    v.raw = "true";
+    i += 4;
+    return true;
+  }
+  if (c == 'f' && s.substr(i, 5) == "false") {
+    v.kind = TraceValue::Kind::kBool;
+    v.b = false;
+    v.raw = "false";
+    i += 5;
+    return true;
+  }
+  if (c == 'n' && s.substr(i, 4) == "null") {
+    v.kind = TraceValue::Kind::kNull;
+    v.raw = "null";
+    i += 4;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    const std::size_t start = i;
+    if (c == '-') ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    }
+    v.kind = TraceValue::Kind::kNumber;
+    v.raw.assign(s.substr(start, i - start));
+    std::from_chars(v.raw.data(), v.raw.data() + v.raw.size(), v.i);
+    v.d = std::strtod(v.raw.c_str(), nullptr);
+    return true;
+  }
+  err = "unexpected character in value";
+  return false;
+}
+
+}  // namespace
+
+const TraceValue* TraceEvent::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string_view TraceEvent::str(std::string_view key) const {
+  const TraceValue* v = find(key);
+  return v != nullptr && v->kind == TraceValue::Kind::kString
+             ? std::string_view{v->str}
+             : std::string_view{};
+}
+
+std::int64_t TraceEvent::num(std::string_view key, std::int64_t dflt) const {
+  const TraceValue* v = find(key);
+  return v != nullptr && v->kind == TraceValue::Kind::kNumber ? v->i : dflt;
+}
+
+bool parse_trace_line(std::string_view line, TraceEvent& out,
+                      std::string& err) {
+  out = TraceEvent{};
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') {
+    err = "line is not a JSON object";
+    return false;
+  }
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(line, i);
+      TraceValue key;
+      if (i >= line.size() || line[i] != '"' ||
+          !parse_string(line, i, key, err)) {
+        if (err.empty()) err = "expected field key";
+        return false;
+      }
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') {
+        err = "expected ':' after key";
+        return false;
+      }
+      ++i;
+      skip_ws(line, i);
+      TraceValue val;
+      if (!parse_value(line, i, val, err)) return false;
+      out.fields.emplace_back(std::move(key.str), std::move(val));
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      err = "expected ',' or '}'";
+      return false;
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) {
+    err = "trailing characters after object";
+    return false;
+  }
+
+  for (const auto& [k, v] : out.fields) {
+    if (k == "ev" && v.kind == TraceValue::Kind::kString) out.ev = v.str;
+    else if (k == "seq") out.seq = v.i;
+    else if (k == "t") out.t = v.i;
+    else if (k == "w") out.w = v.i;
+    else if (k == "chk") out.chk = v.i;
+    else if (k == "dec") out.dec = v.i;
+  }
+  if (out.ev.empty()) {
+    err = "missing \"ev\" field";
+    return false;
+  }
+  return true;
+}
+
+std::string canonical_line(const TraceEvent& ev,
+                           std::span<const std::string_view> strip) {
+  std::string out;
+  out.reserve(128);
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : ev.fields) {
+    bool skip = false;
+    for (std::string_view s : strip) {
+      if (k == s) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(k);  // keys the sink emits never need escaping
+    out.append("\":");
+    out.append(v.raw);
+  }
+  out.push_back('}');
+  return out;
+}
+
+bool TraceReader::next(TraceEvent& ev) {
+  while (std::getline(in_, line_)) {
+    ++line_no_;
+    if (line_.empty()) continue;
+    std::string err;
+    if (!parse_trace_line(line_, ev, err)) {
+      error_ = "line " + std::to_string(line_no_) + ": " + err;
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace waveck::explain

@@ -1,0 +1,84 @@
+// Streaming reader for waveck JSONL traces (doc/OBSERVABILITY.md).
+//
+// Each trace line is one flat JSON object. The reader parses every field in
+// source order and keeps the *raw source token* of each value alongside its
+// decoded form, so a consumer can re-serialize a line byte-for-byte (the
+// `--canon` normalisation relies on this: stripping "t"/"seq" must not
+// perturb any other token, or same-seed trace diffs would report false
+// mismatches).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace waveck::explain {
+
+/// One decoded field value, with the exact source token preserved.
+struct TraceValue {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull };
+
+  Kind kind = Kind::kNull;
+  std::string raw;  // verbatim source token (strings include the quotes)
+  std::string str;  // unescaped body (kString only)
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+};
+
+/// One trace event. The sink-stamped header fields are mirrored into typed
+/// members for convenience; `fields` holds *every* field in source order.
+struct TraceEvent {
+  std::string ev;
+  std::int64_t seq = -1;
+  std::int64_t t = -1;
+  std::int64_t w = 0;
+  std::int64_t chk = -1;  // enclosing check span (-1: outside any check)
+  std::int64_t dec = -1;  // enclosing decision subtree (-1: search root)
+  std::vector<std::pair<std::string, TraceValue>> fields;
+
+  [[nodiscard]] const TraceValue* find(std::string_view key) const;
+  /// String field body, or "" when absent / not a string.
+  [[nodiscard]] std::string_view str(std::string_view key) const;
+  /// Integer field, or `dflt` when absent / not a number.
+  [[nodiscard]] std::int64_t num(std::string_view key,
+                                 std::int64_t dflt = -1) const;
+};
+
+/// Parses one JSONL line (a flat JSON object) into `out`. Returns false and
+/// fills `err` on malformed input. Nested objects/arrays are rejected: the
+/// sink never emits them.
+bool parse_trace_line(std::string_view line, TraceEvent& out,
+                      std::string& err);
+
+/// Re-serializes `ev` exactly as the sink wrote it, minus any field whose
+/// key is in `strip`. Raw tokens are copied verbatim, so the output of a
+/// no-op strip is byte-identical to the input line.
+[[nodiscard]] std::string canonical_line(
+    const TraceEvent& ev, std::span<const std::string_view> strip);
+
+/// Pulls events off an istream one line at a time. A malformed line stops
+/// the stream: next() returns false with error() non-empty.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in) : in_(in) {}
+
+  /// Advances to the next event (blank lines are skipped). Returns false at
+  /// end of stream or on the first malformed line.
+  bool next(TraceEvent& ev);
+
+  [[nodiscard]] std::size_t line_number() const { return line_no_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::istream& in_;
+  std::string line_;
+  std::size_t line_no_ = 0;
+  std::string error_;
+};
+
+}  // namespace waveck::explain

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "common/telemetry.hpp"
+#include "explain/analyzer.hpp"
 #include "gen/rng.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/delay_annotation.hpp"
@@ -27,6 +29,7 @@ const char* to_string(Property p) {
     case Property::kBenchRoundTrip: return "bench_roundtrip";
     case Property::kVerilogRoundTrip: return "verilog_roundtrip";
     case Property::kCacheEquivalence: return "cache_equivalence";
+    case Property::kTraceWellFormed: return "trace_well_formed";
   }
   return "?";
 }
@@ -47,7 +50,7 @@ const std::vector<Property>& all_properties() {
       Property::kDeltaMonotonic,   Property::kBufferInvariance,
       Property::kNorRemap,         Property::kParallelDeterminism,
       Property::kBenchRoundTrip,   Property::kVerilogRoundTrip,
-      Property::kCacheEquivalence,
+      Property::kCacheEquivalence, Property::kTraceWellFormed,
   };
   return kAll;
 }
@@ -376,6 +379,83 @@ PropertyResult check_verilog_roundtrip(const Circuit& c,
   return structure_equal(p, c, c2, "Verilog round-trip");
 }
 
+PropertyResult check_trace_well_formed(const Circuit& c,
+                                       const BatteryOptions& opt) {
+  (void)opt;
+  constexpr Property p = Property::kTraceWellFormed;
+  const Time topo = topological_delay(c);
+  const std::int64_t t = topo.is_finite() ? topo.value() : 0;
+
+  // Capture every output's check at both deltas with a private sink
+  // (restoring whatever sink — usually none — the fuzz engine had
+  // installed). check_output is used directly: unlike check_circuit it
+  // never takes the trivial-STA shortcut, so each report has a trace span.
+  std::ostringstream trace;
+  telemetry::JsonlTraceSink sink(trace);
+  telemetry::TraceSink* const prev = telemetry::trace_sink();
+  telemetry::set_trace_sink(&sink);
+  std::vector<CheckReport> reports;
+  for (const std::int64_t d : {t, t + 1}) {
+    if (d < 0) continue;
+    Verifier v(c);
+    for (const NetId o : c.outputs()) {
+      reports.push_back(v.check_output(o, Time{d}));
+    }
+  }
+  telemetry::set_trace_sink(prev);
+
+  std::istringstream in(trace.str());
+  const explain::TraceAnalysis a = explain::analyze_trace(in);
+  if (!a.well_formed()) {
+    std::string why = a.warnings.empty() ? "(no detail)" : a.warnings.front();
+    return fail(p, std::to_string(a.n_warnings) +
+                       " analyzer warning(s), first: " + why);
+  }
+  if (a.checks.size() != reports.size()) {
+    return fail(p, "trace has " + std::to_string(a.checks.size()) +
+                       " checks, verifier ran " +
+                       std::to_string(reports.size()));
+  }
+  // The serial loop runs checks in order, so the Nth check span is the Nth
+  // CheckReport; every event tally must agree with the report's counters.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CheckReport& r = reports[i];
+    const explain::CheckTree& ct = a.checks[i];
+    const std::string expect_out = c.net(r.check.output).name;
+    const auto mismatch = [&](const char* what, std::uint64_t traced,
+                              std::size_t reported) {
+      return fail(p, "check " + std::to_string(ct.chk) + " (" + expect_out +
+                         "): trace " + what + "=" + std::to_string(traced) +
+                         " but CheckReport says " + std::to_string(reported));
+    };
+    if (ct.output != expect_out) {
+      return fail(p, "check order mismatch: trace has " + ct.output +
+                         ", verifier ran " + expect_out);
+    }
+    if (!ct.closed) {
+      return fail(p, "check " + std::to_string(ct.chk) + " never closed");
+    }
+    if (ct.conclusion != to_string(r.conclusion)) {
+      return fail(p, "check " + std::to_string(ct.chk) + " conclusion \"" +
+                         ct.conclusion + "\" vs report \"" +
+                         to_string(r.conclusion) + "\"");
+    }
+    if (ct.n_decisions != r.decisions) {
+      return mismatch("decisions", ct.n_decisions, r.decisions);
+    }
+    if (ct.n_backtracks != r.backtracks) {
+      return mismatch("backtracks", ct.n_backtracks, r.backtracks);
+    }
+    if (ct.n_gitd_rounds != r.gitd_rounds) {
+      return mismatch("gitd_rounds", ct.n_gitd_rounds, r.gitd_rounds);
+    }
+    if (ct.n_stems != r.stems_processed) {
+      return mismatch("stems", ct.n_stems, r.stems_processed);
+    }
+  }
+  return pass(p);
+}
+
 }  // namespace
 
 PropertyResult check_property(const Circuit& c, Property p,
@@ -391,6 +471,7 @@ PropertyResult check_property(const Circuit& c, Property p,
     case Property::kBenchRoundTrip: return check_bench_roundtrip(c, opt);
     case Property::kVerilogRoundTrip: return check_verilog_roundtrip(c, opt);
     case Property::kCacheEquivalence: return check_cache_equivalence(c, opt);
+    case Property::kTraceWellFormed: return check_trace_well_formed(c, opt);
   }
   return fail(p, "unknown property");
 }

@@ -46,6 +46,12 @@ enum class Property : std::uint8_t {
   /// incremental carrier/dominator cache is a pure optimisation (catches
   /// stale-cache bugs).
   kCacheEquivalence,
+  /// A traced per-output run yields a structurally well-formed JSONL trace:
+  /// the explain analyzer reconstructs it with zero warnings (every
+  /// check_begin has a matching check_end, every decision exactly one
+  /// close, no orphan attributions) and the per-check decision/backtrack/
+  /// gitd/stem tallies equal the CheckReport counters.
+  kTraceWellFormed,
 };
 
 [[nodiscard]] const char* to_string(Property p);

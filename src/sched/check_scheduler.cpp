@@ -90,6 +90,13 @@ SuiteReport CheckScheduler::check_circuit(Time delta) {
       slots[i] = std::move(rep);
     });
   }
+  // Batch span: the chrome exporter reads the worker count from here to
+  // pre-declare one track per worker even if some worker never emits.
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("batch_begin", {{"delta", delta.value()},
+                                    {"jobs", pool_->worker_count()},
+                                    {"checks", n - skipped}});
+  }
   pool_->run(std::move(batch));
 
   auto& global = telemetry::Registry::global();
@@ -111,6 +118,10 @@ SuiteReport CheckScheduler::check_circuit(Time delta) {
     if (!merger.add(std::move(*slots[i]))) break;
   }
   global.counter("sched.checks_skipped").add(cancelled);
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("batch_end", {{"delta", delta.value()},
+                                  {"checks_skipped", cancelled}});
+  }
   return std::move(merger).finish(watch.seconds());
 }
 

@@ -515,8 +515,24 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
     bool cls;
     ConstraintSystem::Mark mark;
     bool flipped;
+    std::int64_t id;  // trace span id (1-based per search; -1 untraced)
   };
   std::vector<Decision> stack;
+  std::int64_t next_decision_id = 0;
+
+  // Decision spans: each decision opens a subtree in the trace (the sink
+  // stamps every nested event with span_context().dec) and is closed by
+  // exactly one `decision_close` — "exhausted" when both classes failed,
+  // "witness"/"abandoned" for decisions still open when the search stops.
+  // The offline analyzer relies on this bracketing being exact.
+  const auto close_open_decisions = [&stack](const char* outcome) {
+    if (!telemetry::trace_enabled()) return;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      telemetry::span_context().dec = it->id;
+      telemetry::emit("decision_close", {{"outcome", outcome}});
+    }
+    telemetry::span_context().dec = -1;
+  };
 
   bool consistent = propagate(cs, check, opt.dominators_in_search, cache);
 
@@ -524,6 +540,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
     if (opt.cancel != nullptr &&
         opt.cancel->load(std::memory_order_relaxed)) {
       cs.pop_to(entry);
+      close_open_decisions("abandoned");
       out.result = CaseResult::kAbandoned;
       return out;
     }
@@ -533,6 +550,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       auto vec = extract_vector(cs);
       const auto sim = simulate_floating(cs.circuit(), vec);
       if (sim.settle[check.output.index()] >= check.delta) {
+        close_open_decisions("witness");
         out.result = CaseResult::kViolation;
         out.vector = std::move(vec);
         return out;
@@ -556,7 +574,15 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         Decision& d = stack.back();
         if (d.flipped) {
           cs.pop_to(d.mark);
+          if (telemetry::trace_enabled()) {
+            telemetry::span_context().dec = d.id;
+            telemetry::emit("decision_close", {{"outcome", "exhausted"}});
+          }
           stack.pop_back();
+          if (telemetry::trace_enabled()) {
+            telemetry::span_context().dec =
+                stack.empty() ? -1 : stack.back().id;
+          }
           continue;
         }
         cs.pop_to(d.mark);
@@ -566,6 +592,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         ctr_backtracks.inc();
         g_depth.set(static_cast<std::int64_t>(stack.size()));
         if (telemetry::trace_enabled()) {
+          telemetry::span_context().dec = d.id;
           telemetry::emit("backtrack",
                           {{"net", cs.circuit().net(d.net).name},
                            {"cls", d.cls},
@@ -573,6 +600,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         }
         if (out.backtracks > opt.max_backtracks) {
           cs.pop_to(entry);
+          close_open_decisions("abandoned");
           out.result = CaseResult::kAbandoned;
           return out;
         }
@@ -584,6 +612,9 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         }
         ctr_conflicts.inc();
         h_conflict_depth.observe(stack.size());
+        if (telemetry::trace_enabled()) {
+          telemetry::emit("conflict", {{"depth", stack.size()}});
+        }
       }
       if (resumed) continue;
       if (stack.empty()) {
@@ -602,13 +633,20 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       consistent = false;
       continue;
     }
-    Decision d{pick->first, pick->second, cs.push_state(), false};
+    Decision d{pick->first, pick->second, cs.push_state(), false, -1};
+    if (telemetry::trace_enabled()) d.id = ++next_decision_id;
     stack.push_back(d);
     ++out.decisions;
     ctr_decisions.inc();
     g_depth.set(static_cast<std::int64_t>(stack.size()));
     if (telemetry::trace_enabled()) {
-      telemetry::emit("decision", {{"net", cs.circuit().net(d.net).name},
+      // The decision's own id rides in the sink-stamped "dec"; `parent`
+      // links it into the tree (-1 = child of the search root).
+      const std::int64_t parent =
+          stack.size() > 1 ? stack[stack.size() - 2].id : -1;
+      telemetry::span_context().dec = d.id;
+      telemetry::emit("decision", {{"parent", parent},
+                                   {"net", cs.circuit().net(d.net).name},
                                    {"cls", d.cls},
                                    {"depth", stack.size()}});
     }

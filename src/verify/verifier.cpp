@@ -136,7 +136,12 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
   const std::uint64_t corr0 = ctr_corr.value();
 
   reg.counter("verify.checks").inc();
+  // Check-level span: every event emitted until the matching check_end
+  // (stages, decisions, propagations — including from code that knows
+  // nothing about checks) is stamped with this check's id.
+  std::optional<telemetry::ScopedCheckSpan> span;
   if (telemetry::trace_enabled()) {
+    span.emplace();
     telemetry::emit("check_begin", {{"output", c.net(s).name},
                                     {"delta", delta.value()}});
   }
@@ -153,9 +158,21 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
   reg.counter(std::string("verify.conclusion.") +
               to_string(rep.conclusion)).inc();
   if (telemetry::trace_enabled()) {
-    telemetry::emit("check_end", {{"output", c.net(s).name},
-                                  {"conclusion", to_string(rep.conclusion)},
-                                  {"seconds", rep.seconds}});
+    if (rep.vector) {
+      // The witness rides along so offline consumers (the DOT exporter's
+      // critical-path highlight) need no re-search.
+      const std::string vec = format_vector(*rep.vector);
+      telemetry::emit("check_end",
+                      {{"output", c.net(s).name},
+                       {"conclusion", to_string(rep.conclusion)},
+                       {"seconds", rep.seconds},
+                       {"vector", vec}});
+    } else {
+      telemetry::emit("check_end",
+                      {{"output", c.net(s).name},
+                       {"conclusion", to_string(rep.conclusion)},
+                       {"seconds", rep.seconds}});
+    }
   }
   return rep;
 }
@@ -168,20 +185,38 @@ CheckReport Verifier::run_check_stages(
   rep.check = TimingCheck{s, delta};
 
   telemetry::StopWatch stage_watch;
-  const auto close_stage = [&](const char* timer, double& slot) {
+  // Stage spans: `stage_begin`/`stage_end` bracket each pipeline stage in
+  // the trace (stage_end carries the stage's verdict), nested inside the
+  // enclosing check span. The offline analyzer rebuilds its waterfalls
+  // from these; the registry stage timers stay the metrics source.
+  const auto open_stage = [](const char* stage) {
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("stage_begin", {{"stage", stage}});
+    }
+  };
+  const auto close_stage = [&](const char* timer, const char* stage,
+                               const char* status, double& slot) {
     const std::uint64_t ns = stage_watch.ns();
     reg.timer(timer).add_ns(ns);
     slot += static_cast<double>(ns) * 1e-9;
     stage_watch = telemetry::StopWatch();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("stage_end", {{"stage", stage}, {"status", status}});
+    }
   };
 
   ConstraintSystem cs(c);
   if (opt_.use_learning) {
+    open_stage("learning");
     const LearningResult& lr = learning();  // lazily computed once
     reg.timer("stage.learning").add_ns(stage_watch.ns());
     stage_watch = telemetry::StopWatch();
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("stage_end", {{"stage", "learning"}, {"status", "-"}});
+    }
     cs.set_implications(&lr.table);
   }
+  open_stage("narrowing");
 
   // Initial domains (Section 3.3): floating-mode inputs, the delta
   // restriction on s, everything else top; then the globally-impossible
@@ -202,7 +237,8 @@ CheckReport Verifier::run_check_stages(
 
   // Stage 1: plain narrowing fixpoint.
   rep.before_gitd = status_of(cs.reach_fixpoint());
-  close_stage("stage.narrowing", rep.stage_seconds.narrowing);
+  close_stage("stage.narrowing", "narrowing", to_string(rep.before_gitd),
+              rep.stage_seconds.narrowing);
   if (rep.before_gitd == StageStatus::kNoViolation) {
     rep.conclusion = CheckConclusion::kNoViolation;
     return rep;
@@ -210,8 +246,11 @@ CheckReport Verifier::run_check_stages(
 
   // Stage 1.5 (extension, reference [1]): correlated delay narrowing.
   if (mutable_c != nullptr) {
+    open_stage("delay_correlation");
     const auto stats = apply_delay_correlation(cs, *mutable_c);
-    close_stage("stage.delay_correlation", rep.stage_seconds.narrowing);
+    close_stage("stage.delay_correlation", "delay_correlation",
+                stats.proved_no_violation ? "N" : "P",
+                rep.stage_seconds.narrowing);
     if (stats.proved_no_violation) {
       rep.before_gitd = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
@@ -232,6 +271,7 @@ CheckReport Verifier::run_check_stages(
 
   // Stage 2: global implications on dynamic timing dominators (Figure 4).
   if (opt_.use_dominators) {
+    open_stage("gitd");
     auto& ctr_rounds = reg.counter("gitd.rounds");
     rep.after_gitd = StageStatus::kPossible;
     for (;;) {
@@ -247,7 +287,8 @@ CheckReport Verifier::run_check_stages(
         break;
       }
     }
-    close_stage("stage.gitd", rep.stage_seconds.gitd);
+    close_stage("stage.gitd", "gitd", to_string(rep.after_gitd),
+                rep.stage_seconds.gitd);
     if (rep.after_gitd == StageStatus::kNoViolation) {
       rep.conclusion = CheckConclusion::kNoViolation;
       return rep;
@@ -256,6 +297,7 @@ CheckReport Verifier::run_check_stages(
 
   // Stage 3: stem correlation.
   if (opt_.use_stem_correlation) {
+    open_stage("stem");
     const auto stats = apply_stem_correlation(
         cs, rep.check, reconvergent_stems(), opt_.max_stems, cache);
     const bool closed =
@@ -270,7 +312,8 @@ CheckReport Verifier::run_check_stages(
                return true;
            }
          }());
-    close_stage("stage.stem", rep.stage_seconds.stem);
+    close_stage("stage.stem", "stem", closed ? "N" : "P",
+                rep.stage_seconds.stem);
     if (closed) {
       rep.after_stem = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
@@ -286,9 +329,9 @@ CheckReport Verifier::run_check_stages(
   }
   const Scoap* sc =
       opt_.case_analysis.use_scoap ? &scoap() : nullptr;
+  open_stage("case_analysis");
   const auto outcome =
       run_case_analysis(cs, rep.check, sc, opt_.case_analysis, cache);
-  close_stage("stage.case_analysis", rep.stage_seconds.case_analysis);
   switch (outcome.result) {
     case CaseResult::kViolation:
       rep.conclusion = CheckConclusion::kViolation;
@@ -301,6 +344,8 @@ CheckReport Verifier::run_check_stages(
       rep.conclusion = CheckConclusion::kAbandoned;
       break;
   }
+  close_stage("stage.case_analysis", "case_analysis",
+              to_string(rep.conclusion), rep.stage_seconds.case_analysis);
   return rep;
 }
 

@@ -177,7 +177,8 @@ TEST(TelemetryConcurrency, MergePreservesSnapshotJson) {
   b.merge_from(a);
   const std::string json = b.to_json();
   EXPECT_NE(json.find("\"c\":2"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"g\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\":{\"value\":7,\"max\":7}"), std::string::npos)
+      << json;
   EXPECT_EQ(b.histogram("h").count(), 1u);
   EXPECT_EQ(b.timer("t").calls(), 3u);
   EXPECT_EQ(b.timer("t").total_ns(), 9000u);

@@ -44,6 +44,39 @@ TEST(Gauge, MovesBothWays) {
   EXPECT_EQ(g.value(), 0);
 }
 
+TEST(Gauge, HighWaterTracksPeak) {
+  Gauge g;
+  EXPECT_EQ(g.high_water(), 0);
+  g.set(4);
+  g.add(3);  // 7: the peak
+  g.add(-5);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.high_water(), 7);
+  // Lower observations never lower the mark.
+  g.raise_high_water(2);
+  EXPECT_EQ(g.high_water(), 7);
+  g.raise_high_water(11);
+  EXPECT_EQ(g.high_water(), 11);
+  g.reset();
+  EXPECT_EQ(g.high_water(), 0);
+  // Negative values leave the (0-initialised) mark alone.
+  g.set(-9);
+  EXPECT_EQ(g.high_water(), 0);
+}
+
+TEST(Gauge, MergeTakesMaxOfPeaks) {
+  Registry a;
+  Registry b;
+  a.gauge("depth").set(3);
+  a.gauge("depth").set(1);  // value 1, peak 3
+  b.gauge("depth").set(9);
+  b.gauge("depth").set(2);  // value 2, peak 9
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge("depth").value(), 3);      // values add (1 + 2)
+  EXPECT_EQ(a.gauge("depth").high_water(), 9);  // peaks max
+}
+
 TEST(StageTimer, AccumulatesCallsAndTime) {
   StageTimer t;
   t.add_ns(1500);
@@ -102,7 +135,8 @@ TEST(Registry, MetricsPersistAndSnapshotIsJson) {
   EXPECT_NE(js.find("\"histograms\""), std::string::npos);
   EXPECT_NE(js.find("\"timers\""), std::string::npos);
   EXPECT_NE(js.find("\"test.registry_counter\""), std::string::npos);
-  EXPECT_NE(js.find("\"test.registry_gauge\":-3"), std::string::npos);
+  EXPECT_NE(js.find("\"test.registry_gauge\":{\"value\":-3,\"max\":0}"),
+            std::string::npos);
   // Balanced braces/brackets => structurally sound for our writer.
   std::int64_t depth = 0;
   for (char ch : js) {
@@ -155,6 +189,59 @@ TEST(JsonlTraceSink, WritesOneSchemaCorrectLinePerEvent) {
   EXPECT_NE(os.str().find("\"flag\":true"), std::string::npos);
   EXPECT_NE(os.str().find("\"name\":\"a\\\"b\""), std::string::npos);
   EXPECT_EQ(os.str().find("gamma"), std::string::npos);
+}
+
+TEST(JsonlTraceSink, StampsOpenSpanIds) {
+  SinkGuard guard;
+  std::ostringstream os;
+  telemetry::JsonlTraceSink sink(os);
+  telemetry::set_trace_sink(&sink);
+
+  telemetry::emit("outside", {});  // no open span: no chk/dec keys
+  {
+    telemetry::ScopedCheckSpan span;
+    EXPECT_GT(span.id(), 0);
+    EXPECT_EQ(telemetry::span_context().chk, span.id());
+    EXPECT_EQ(telemetry::span_context().dec, -1);
+    telemetry::emit("in_check", {});
+    telemetry::span_context().dec = 5;
+    telemetry::emit("in_decision", {{"x", 1}});
+    telemetry::span_context().dec = -1;
+  }
+  EXPECT_EQ(telemetry::span_context().chk, -1);
+  telemetry::emit("after", {});
+  telemetry::set_trace_sink(nullptr);
+
+  std::istringstream in(os.str());
+  std::string outside, in_check, in_decision, after;
+  std::getline(in, outside);
+  std::getline(in, in_check);
+  std::getline(in, in_decision);
+  std::getline(in, after);
+  EXPECT_EQ(outside.find("\"chk\":"), std::string::npos) << outside;
+  EXPECT_NE(in_check.find("\"chk\":"), std::string::npos) << in_check;
+  EXPECT_EQ(in_check.find("\"dec\":"), std::string::npos) << in_check;
+  EXPECT_NE(in_decision.find("\"dec\":5"), std::string::npos) << in_decision;
+  EXPECT_EQ(after.find("\"chk\":"), std::string::npos) << after;
+}
+
+TEST(ScopedCheckSpan, NestsAndRestores) {
+  const telemetry::SpanContext before = telemetry::span_context();
+  {
+    telemetry::ScopedCheckSpan outer;
+    telemetry::span_context().dec = 3;
+    {
+      telemetry::ScopedCheckSpan inner;
+      EXPECT_GT(inner.id(), outer.id());
+      EXPECT_EQ(telemetry::span_context().chk, inner.id());
+      EXPECT_EQ(telemetry::span_context().dec, -1);
+    }
+    EXPECT_EQ(telemetry::span_context().chk, outer.id());
+    EXPECT_EQ(telemetry::span_context().dec, 3);
+    telemetry::span_context().dec = -1;
+  }
+  EXPECT_EQ(telemetry::span_context().chk, before.chk);
+  EXPECT_EQ(telemetry::span_context().dec, before.dec);
 }
 
 /// Counts events by name; used for trace/report parity checks.

@@ -17,6 +17,7 @@
 
 #include "analysis/learning.hpp"
 #include "common/telemetry.hpp"
+#include "explain/explain_cli.hpp"
 #include "fuzz/engine.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas_suite.hpp"
@@ -63,6 +64,8 @@ constexpr CommandSpec kCommands[] = {
     {"gen", "NAME [v]", "emit a generated circuit as .bench (or Verilog)"},
     {"fuzz", "[--seed N] [--runs N] ...",
      "differential fuzzing vs the exhaustive oracle (see waveck_fuzz)"},
+    {"explain", "TRACE.jsonl [--json] ...",
+     "analyze a --trace capture: search trees, chrome/DOT export"},
 };
 
 int usage() {
@@ -321,6 +324,10 @@ int dispatch(const std::vector<std::string>& args) {
     // All-flag command; shares the driver with tools/waveck_fuzz.
     return fuzz::fuzz_cli_main({args.begin() + 1, args.end()}, std::cout,
                                std::cerr);
+  }
+  if (args[0] == "explain") {
+    return explain::explain_cli_main({args.begin() + 1, args.end()},
+                                     std::cout, std::cerr);
   }
   if (args.size() < 2) return usage();
   const std::string& cmd = args[0];

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   std::string upto;        // stop after the first entry matching this prefix
   std::string json_path = "BENCH_table1.json";
   std::string trace_path;  // --trace: JSONL capture of one extra run per row
+  bool history = false;    // --append-history: one JSONL entry per run
+  std::string history_path = "BENCH_history.jsonl";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -40,6 +42,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--counters") {
+      prof::set_counters_enabled(true);
+    } else if (arg == "--append-history") {
+      history = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') history_path = argv[++i];
     } else if (arg == "--jobs") {
       jobs = sched::ThreadPool::hardware_workers();
       if (i + 1 < argc && argv[i + 1][0] != '-') jobs = std::stoull(argv[++i]);
@@ -54,7 +61,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_table1 [--quick] [--json [FILE]] "
                    "[--jobs [N]] [--repeat N] [--upto NAME] "
-                   "[--trace FILE.jsonl]\n";
+                   "[--trace FILE.jsonl] [--counters] "
+                   "[--append-history [FILE]]\n";
       return 2;
     }
   }
@@ -183,5 +191,6 @@ int main(int argc, char** argv) {
     write_table1_json(json_path, rows, jobs);
     std::cout << "wrote " << json_path << "\n";
   }
+  if (history) append_history(history_path, rows, quick, repeat);
   return matched ? 0 : 1;
 }

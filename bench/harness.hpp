@@ -3,15 +3,19 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/telemetry.hpp"
+#include "prof/perf_counters.hpp"
 #include "verify/verifier.hpp"
 
 namespace waveck::bench {
@@ -60,6 +64,9 @@ struct Table1Row {
   /// --trace); < 0 = tracing off. Never set on the timed runs, so wall
   /// clocks stay comparable with untraced benches.
   std::int64_t trace_lines = -1;
+  /// Per-stage hardware counters (bench_table1 --counters); empty (no
+  /// sections) when counters were off for the timed run.
+  StagePerf stage_perf;
 };
 
 inline void print_table1_header() {
@@ -94,6 +101,7 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
   r.seconds = rep.seconds;
   r.backtracks_n = rep.backtracks;
   r.stage_seconds = rep.stage_seconds;
+  r.stage_perf = rep.stage_perf;
   if (rep.vector) {
     r.witness = format_vector(*rep.vector);
     if (rep.violating_output) {
@@ -119,6 +127,46 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
       break;
   }
   return r;
+}
+
+/// One stage's scaled counters as a JSON object body. Mirrors
+/// report_io.cpp's per-check "perf" stages: wall_ns always, hardware
+/// events only when the group actually read (hw).
+inline void write_counter_totals_json(std::ostream& os,
+                                      const prof::CounterTotals& t,
+                                      bool hw) {
+  os << "{\"wall_ns\":" << t.wall_ns;
+  if (hw) {
+    os << ",\"cycles\":" << t.cycles
+       << ",\"instructions\":" << t.instructions
+       << ",\"ipc\":" << t.ipc()
+       << ",\"cache_references\":" << t.cache_references
+       << ",\"cache_misses\":" << t.cache_misses
+       << ",\"cache_miss_rate\":" << t.cache_miss_rate()
+       << ",\"branch_misses\":" << t.branch_misses;
+  }
+  os << "}";
+}
+
+inline void write_stage_perf_json(std::ostream& os, const StagePerf& p) {
+  const bool hw = p.total().hw_valid;
+  os << ",\"perf\":{\"counters\":\""
+     << (hw ? "available" : "unavailable") << "\"";
+  if (!hw) {
+    os << ",\"reason\":\"" << telemetry::json_escape(prof::unavailable_reason())
+       << "\"";
+  }
+  const std::pair<const char*, const prof::CounterTotals*> stages[] = {
+      {"narrowing", &p.narrowing},
+      {"gitd", &p.gitd},
+      {"stem", &p.stem},
+      {"case_analysis", &p.case_analysis}};
+  for (const auto& [name, totals] : stages) {
+    if (!totals->any()) continue;
+    os << ",\"" << name << "\":";
+    write_counter_totals_json(os, *totals, hw);
+  }
+  os << "}";
 }
 
 /// Writes the collected rows as one JSON document (BENCH_table1.json): each
@@ -160,9 +208,83 @@ inline void write_table1_json(const std::string& path,
        << "\"narrowing\":" << r.stage_seconds.narrowing
        << ",\"gitd\":" << r.stage_seconds.gitd
        << ",\"stem\":" << r.stage_seconds.stem
-       << ",\"case_analysis\":" << r.stage_seconds.case_analysis << "}}";
+       << ",\"case_analysis\":" << r.stage_seconds.case_analysis << "}";
+    if (r.stage_perf.any()) write_stage_perf_json(os, r.stage_perf);
+    os << "}";
   }
   os << "]}\n";
+}
+
+/// Appends one JSONL entry to the bench history file and prints the
+/// total-seconds delta against the previous entry (trend at a glance; the
+/// committed file accumulates one line per recorded run).
+inline void append_history(const std::string& path,
+                           const std::vector<Table1Row>& rows, bool quick,
+                           std::size_t repeat) {
+  // Previous entry's total_seconds, scraped from the last non-empty line.
+  double prev_total = -1.0;
+  {
+    std::ifstream in(path);
+    std::string line, last;
+    while (std::getline(in, line)) {
+      if (!line.empty()) last = line;
+    }
+    const std::string key = "\"total_seconds\":";
+    if (const auto pos = last.find(key); pos != std::string::npos) {
+      prev_total = std::strtod(last.c_str() + pos + key.size(), nullptr);
+    }
+  }
+
+  double total_seconds = 0.0;
+  std::size_t total_backtracks = 0;
+  StagePerf perf;
+  for (const auto& r : rows) {
+    total_seconds += r.seconds_min >= 0 ? r.seconds_min : r.seconds;
+    total_backtracks += r.backtracks_n;
+    perf.add(r.stage_perf);
+  }
+
+  char ts[32] = "";
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(ts, sizeof ts, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+
+  std::ofstream os(path, std::ios::app);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << "{\"bench\":\"table1\",\"ts\":\"" << ts << "\",\"quick\":"
+     << (quick ? "true" : "false") << ",\"repeat\":" << repeat
+     << ",\"rows\":" << rows.size()
+     << ",\"total_seconds\":" << total_seconds
+     << ",\"total_backtracks\":" << total_backtracks;
+  if (perf.any()) write_stage_perf_json(os, perf);
+  os << ",\"rows_summary\":[";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"circuit\":\"" << telemetry::json_escape(r.circuit)
+       << "\",\"delta\":\"" << telemetry::json_escape(r.delta.str())
+       << "\",\"result\":\"" << telemetry::json_escape(r.result)
+       << "\",\"seconds\":"
+       << (r.seconds_min >= 0 ? r.seconds_min : r.seconds) << "}";
+  }
+  os << "]}\n";
+
+  std::cout << "history: appended to " << path << " (total "
+            << fmt_secs(total_seconds) << "s";
+  if (prev_total >= 0.0) {
+    const double d = total_seconds - prev_total;
+    std::cout << ", " << (d >= 0 ? "+" : "") << fmt_secs(d)
+              << "s vs previous";
+    if (prev_total > 0.0) {
+      std::cout << " [" << std::showpos << std::fixed << std::setprecision(1)
+                << 100.0 * d / prev_total << "%" << std::noshowpos << "]";
+    }
+  }
+  std::cout << ")\n";
 }
 
 }  // namespace waveck::bench

@@ -14,6 +14,9 @@ namespace {
 thread_local Registry* t_registry = nullptr;
 thread_local int t_worker_id = 0;
 thread_local SpanContext t_span;
+// Atomic so the SIGPROF handler's read is async-signal-safe.
+thread_local std::atomic<const char*> t_stage_mark{nullptr};
+thread_local std::atomic<const char*> t_check_mark{nullptr};
 std::atomic<std::int64_t> g_next_check_id{0};
 }  // namespace
 
@@ -23,6 +26,19 @@ void set_trace_sink(TraceSink* sink) {
 
 int worker_id() { return t_worker_id; }
 void set_worker_id(int id) { t_worker_id = id; }
+
+const char* stage_mark() {
+  return t_stage_mark.load(std::memory_order_relaxed);
+}
+void set_stage_mark(const char* stage) {
+  t_stage_mark.store(stage, std::memory_order_relaxed);
+}
+const char* check_mark() {
+  return t_check_mark.load(std::memory_order_relaxed);
+}
+void set_check_mark(const char* check) {
+  t_check_mark.store(check, std::memory_order_relaxed);
+}
 
 SpanContext& span_context() { return t_span; }
 
@@ -80,6 +96,34 @@ StageTimer& Registry::timer(std::string_view name) {
   return lookup(mu_, timers_, name);
 }
 
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> b{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    b[i] = bucket(i);
+    total += b[i];
+  }
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (b[i] == 0) continue;
+    const double next = cum + static_cast<double>(b[i]);
+    if (next >= target) {
+      if (i == 0) return 0.0;  // bucket 0 holds exact zeros
+      const double lower = static_cast<double>(bucket_lower_bound(i));
+      // The overflow bucket has no upper bound; assume one bucket width.
+      const double upper = 2.0 * lower;
+      const double frac =
+          (target - cum) / static_cast<double>(b[i]);
+      return lower + frac * (upper - lower);
+    }
+    cum = next;
+  }
+  return static_cast<double>(bucket_lower_bound(kBuckets - 1)) * 2.0;
+}
+
 void Registry::merge_from(const Registry& other) {
   // `other` must be quiescent (a finished worker's registry); take only its
   // structural lock. Lock order global-then-worker is the only one used.
@@ -133,7 +177,9 @@ std::string Registry::to_json() const {
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       os << (i ? "," : "") << h.bucket(i);
     }
-    os << "]}";
+    os << "],\"p50\":" << fmt_double(h.quantile(0.50))
+       << ",\"p90\":" << fmt_double(h.quantile(0.90))
+       << ",\"p99\":" << fmt_double(h.quantile(0.99)) << "}";
     first = false;
   }
   os << "}}";

@@ -124,6 +124,12 @@ class Histogram {
     const auto w = static_cast<std::size_t>(std::bit_width(v));
     return w < kBuckets - 1 ? w : kBuckets - 1;
   }
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// pow2 bucket the rank falls in: exact for bucket 0 (zeros), otherwise
+  /// accurate to within the bucket width. Returns 0 on an empty histogram.
+  /// Snapshots the buckets once, so a racing observe may shift the estimate
+  /// by at most its own weight.
+  [[nodiscard]] double quantile(double q) const;
   void merge_from(const Histogram& other) {
     for (std::size_t i = 0; i < kBuckets; ++i) {
       buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
@@ -373,6 +379,17 @@ void set_trace_sink(TraceSink* sink);
 /// the "w" field: 0 on the main thread, 1..N on scheduler pool workers.
 [[nodiscard]] int worker_id();
 void set_worker_id(int id);
+
+/// Position marks for the sampling profiler (src/prof): the verifier stamps
+/// the current check's output name and pipeline stage into thread-local
+/// slots, and the SIGPROF handler reads them back to annotate each captured
+/// stack. Stored as lock-free atomics so the read is async-signal-safe; the
+/// pointed-to strings must outlive the mark (stage names are literals, the
+/// check mark borrows the Circuit's net name). nullptr = no mark.
+[[nodiscard]] const char* stage_mark();
+void set_stage_mark(const char* stage);
+[[nodiscard]] const char* check_mark();
+void set_check_mark(const char* check);
 
 /// The calling thread's open trace span. `chk` is the id of the enclosing
 /// timing check (-1 outside any check), `dec` the id of the FAN decision

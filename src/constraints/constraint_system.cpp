@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "constraints/projection.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/perf_counters.hpp"
 
 namespace waveck {
 
@@ -21,6 +23,20 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       ctr_conflicts_(telemetry::Registry::current().counter("engine.conflicts")),
       ctr_gate_evals_(
           telemetry::Registry::current().counter("fixpoint.gate_evals")),
+      ctr_perf_cycles_(
+          telemetry::Registry::current().counter("perf.fixpoint.cycles")),
+      ctr_perf_instructions_(telemetry::Registry::current().counter(
+          "perf.fixpoint.instructions")),
+      ctr_perf_cache_refs_(telemetry::Registry::current().counter(
+          "perf.fixpoint.cache_references")),
+      ctr_perf_cache_misses_(telemetry::Registry::current().counter(
+          "perf.fixpoint.cache_misses")),
+      ctr_perf_branch_misses_(telemetry::Registry::current().counter(
+          "perf.fixpoint.branch_misses")),
+      ctr_perf_wall_ns_(
+          telemetry::Registry::current().counter("perf.fixpoint.wall_ns")),
+      ctr_perf_sections_(
+          telemetry::Registry::current().counter("perf.fixpoint.sections")),
       h_fixpoint_narrowings_(telemetry::Registry::current().histogram(
           "engine.fixpoint_narrowings")),
       lh_queue_depth_(
@@ -164,6 +180,11 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   const std::uint64_t apps0 = applications_;
   const std::uint64_t nar0 = narrowings_;
   const std::size_t depth0 = queue_size_;
+  // Hardware-counter window around the whole drain: two group reads per
+  // fixpoint, nothing inside the loop.
+  const bool perf_on = prof::counters_enabled();
+  prof::CounterSample perf0;
+  if (perf_on) perf0 = prof::thread_counter_group().read();
   // Tripwire against unforeseen non-termination (Theorem 1 guarantees the
   // fixpoint is finite; this bound is far above any observed run).
   const std::uint64_t budget =
@@ -196,6 +217,23 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   ctr_applications_.add(applications_ - apps0);
   ctr_gate_evals_.add(applications_ - apps0);
   ctr_narrowings_.add(narrowings_ - nar0);
+  if (perf_on) {
+    const prof::CounterDelta d =
+        prof::delta_between(perf0, prof::thread_counter_group().read());
+    ctr_perf_cycles_.add(d.cycles);
+    ctr_perf_instructions_.add(d.instructions);
+    ctr_perf_cache_refs_.add(d.cache_references);
+    ctr_perf_cache_misses_.add(d.cache_misses);
+    ctr_perf_branch_misses_.add(d.branch_misses);
+    ctr_perf_wall_ns_.add(d.wall_ns);
+    ctr_perf_sections_.inc();
+  }
+  // Liveness tick for the --progress monitor: gate evaluations are the
+  // engine's finest-grained forward-progress unit (+1 so even an empty
+  // drain counts as life).
+  if (prof::heartbeat_enabled()) {
+    prof::ActivityBoard::tick(applications_ - apps0 + 1);
+  }
   h_fixpoint_narrowings_.observe(narrowings_ - nar0);
   lh_queue_depth_.flush();
   lh_narrowing_magnitude_.flush();

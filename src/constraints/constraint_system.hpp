@@ -206,6 +206,17 @@ class ConstraintSystem {
   telemetry::Counter& ctr_narrowings_;
   telemetry::Counter& ctr_conflicts_;
   telemetry::Counter& ctr_gate_evals_;
+  // Hardware-counter totals for the fixpoint drain (perf observatory):
+  // bumped once per reach_fixpoint when prof::counters_enabled(), so the
+  // disabled path pays one branch. Cycles/instructions/misses live under
+  // "perf.fixpoint.*" next to the stage-level "perf.stage.*" slots.
+  telemetry::Counter& ctr_perf_cycles_;
+  telemetry::Counter& ctr_perf_instructions_;
+  telemetry::Counter& ctr_perf_cache_refs_;
+  telemetry::Counter& ctr_perf_cache_misses_;
+  telemetry::Counter& ctr_perf_branch_misses_;
+  telemetry::Counter& ctr_perf_wall_ns_;
+  telemetry::Counter& ctr_perf_sections_;
   telemetry::Histogram& h_fixpoint_narrowings_;
   telemetry::LocalHistogram lh_queue_depth_;
   telemetry::LocalHistogram lh_narrowing_magnitude_;

@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/telemetry.hpp"
 #include "explain/analyzer.hpp"
@@ -144,7 +145,7 @@ void text_report(const TraceAnalysis& a, const Options& opt,
   // ---- stage waterfall (totals across checks) -----------------------------
   struct StageTotal {
     double seconds = 0.0;
-    std::size_t count = 0;
+    std::vector<double> samples;  // per-check durations, for exact quantiles
   };
   std::vector<std::pair<std::string, StageTotal>> stage_order;
   for (const CheckTree& c : a.checks) {
@@ -156,15 +157,34 @@ void text_report(const TraceAnalysis& a, const Options& opt,
         it = std::prev(stage_order.end());
       }
       it->second.seconds += s.seconds();
-      ++it->second.count;
+      it->second.samples.push_back(s.seconds());
     }
   }
+  // Exact order-statistic quantile over the collected durations (sorted,
+  // linearly interpolated between ranks) -- unlike the registry histograms
+  // there is no bucketing error here, the full sample list is in memory.
+  const auto quantile = [](const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  };
   if (!stage_order.empty()) {
     out << "stage waterfall (summed over checks):\n";
-    for (const auto& [stage, tot] : stage_order) {
+    out << "  " << std::left << std::setw(18) << "STAGE" << std::right
+        << std::setw(11) << "TOTAL" << std::setw(7) << "COUNT"
+        << std::setw(11) << "P50" << std::setw(11) << "P90"
+        << std::setw(11) << "P99" << "\n";
+    for (auto& [stage, tot] : stage_order) {
+      std::sort(tot.samples.begin(), tot.samples.end());
       out << "  " << std::left << std::setw(18) << stage << std::right
-          << std::setw(11) << std::fixed << std::setprecision(6)
-          << tot.seconds << "s  x" << tot.count << "\n";
+          << std::setw(10) << std::fixed << std::setprecision(6)
+          << tot.seconds << "s" << std::setw(7) << tot.samples.size()
+          << std::setw(11) << quantile(tot.samples, 0.50) << std::setw(11)
+          << quantile(tot.samples, 0.90) << std::setw(11)
+          << quantile(tot.samples, 0.99) << "\n";
     }
     out << "\n";
   }

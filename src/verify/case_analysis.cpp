@@ -7,6 +7,7 @@
 #include "analysis/carrier_cache.hpp"
 #include "analysis/head_lines.hpp"
 #include "common/telemetry.hpp"
+#include "prof/heartbeat.hpp"
 #include "sim/floating_sim.hpp"
 
 namespace waveck {
@@ -591,6 +592,10 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         ++out.backtracks;
         ctr_backtracks.inc();
         g_depth.set(static_cast<std::int64_t>(stack.size()));
+        if (prof::heartbeat_enabled()) {
+          prof::ActivityBoard::set_depth(
+              static_cast<std::int64_t>(stack.size()));
+        }
         if (telemetry::trace_enabled()) {
           telemetry::span_context().dec = d.id;
           telemetry::emit("backtrack",
@@ -639,6 +644,10 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
     ++out.decisions;
     ctr_decisions.inc();
     g_depth.set(static_cast<std::int64_t>(stack.size()));
+    if (prof::heartbeat_enabled()) {
+      prof::ActivityBoard::set_depth(
+          static_cast<std::int64_t>(stack.size()));
+    }
     if (telemetry::trace_enabled()) {
       // The decision's own id rides in the sink-stamped "dec"; `parent`
       // links it into the tree (-1 = child of the search root).

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/telemetry.hpp"
+#include "prof/perf_counters.hpp"
 
 namespace waveck {
 namespace {
@@ -16,8 +18,11 @@ class Json {
  public:
   Json& begin() { return raw("{"); }
   Json& end() {
-    comma_ = false;
-    return raw("}");
+    // Like end_array(): a closed object is itself a value, so the next
+    // sibling key needs a comma.
+    os_ << "}";
+    comma_ = true;
+    return *this;
   }
   Json& key(const std::string& k) {
     sep();
@@ -105,6 +110,43 @@ void stage_seconds_body(Json& j, const StageSeconds& s) {
   j.end();
 }
 
+void perf_totals_body(Json& j, const prof::CounterTotals& t, bool hw) {
+  j.key("wall_ns").value(static_cast<std::size_t>(t.wall_ns));
+  if (!hw) return;  // degraded path: wall-clock only, no fake zeros
+  j.key("cycles").value(static_cast<std::size_t>(t.cycles));
+  j.key("instructions").value(static_cast<std::size_t>(t.instructions));
+  j.key("ipc").value(t.ipc());
+  j.key("cache_references")
+      .value(static_cast<std::size_t>(t.cache_references));
+  j.key("cache_misses").value(static_cast<std::size_t>(t.cache_misses));
+  j.key("cache_miss_rate").value(t.cache_miss_rate());
+  j.key("branch_misses").value(static_cast<std::size_t>(t.branch_misses));
+}
+
+/// "perf" object: per-stage scaled hardware counters, present only when the
+/// check ran with prof::counters_enabled(). On the degraded path (no PMU,
+/// perf_event_paranoid, containers) the marker flips to "unavailable" and
+/// stages carry wall_ns only.
+void stage_perf_body(Json& j, const StagePerf& p) {
+  if (!p.any()) return;
+  const bool hw = p.total().hw_valid;
+  j.key("perf").begin();
+  j.key("counters").value(hw ? "available" : "unavailable");
+  if (!hw) j.key("reason").value(prof::unavailable_reason());
+  const std::pair<const char*, const prof::CounterTotals*> stages[] = {
+      {"narrowing", &p.narrowing},
+      {"gitd", &p.gitd},
+      {"stem", &p.stem},
+      {"case_analysis", &p.case_analysis}};
+  for (const auto& [name, totals] : stages) {
+    if (!totals->any()) continue;
+    j.key(name).begin();
+    perf_totals_body(j, *totals, hw);
+    j.end();
+  }
+  j.end();
+}
+
 void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
   j.key("output").value(c.net(rep.check.output).name);
   j.key("delta").value(rep.check.delta);
@@ -120,6 +162,7 @@ void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
   j.key("stems_processed").value(rep.stems_processed);
   j.key("seconds").value(rep.seconds);
   stage_seconds_body(j, rep.stage_seconds);
+  stage_perf_body(j, rep.stage_perf);
   j.key("vector");
   if (rep.vector) {
     j.value(format_vector(*rep.vector));
@@ -155,6 +198,7 @@ std::string to_json(const Circuit& c, const SuiteReport& rep,
   j.key("backtracks").value(rep.backtracks);
   j.key("seconds").value(rep.seconds);
   stage_seconds_body(j, rep.stage_seconds);
+  stage_perf_body(j, rep.stage_perf);
   j.key("vector");
   if (rep.vector) {
     j.value(format_vector(*rep.vector));

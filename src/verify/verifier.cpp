@@ -8,6 +8,7 @@
 #include "analysis/delay_correlation.hpp"
 #include "common/telemetry.hpp"
 #include "netlist/topo_delay.hpp"
+#include "prof/heartbeat.hpp"
 #include "sim/floating_sim.hpp"
 #include "sim/transition_sim.hpp"
 #include "verify/stem_correlation.hpp"
@@ -145,10 +146,20 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
     telemetry::emit("check_begin", {{"output", c.net(s).name},
                                     {"delta", delta.value()}});
   }
+  // Profiler mark (thread-local, one relaxed store) and heartbeat board
+  // slot: both borrow the net's name, which outlives the check.
+  telemetry::set_check_mark(c.net(s).name.c_str());
+  if (prof::heartbeat_enabled()) {
+    prof::ActivityBoard::begin_check(c.net(s).name.c_str(),
+                                     span ? span->id() : -1);
+  }
 
   const telemetry::StopWatch watch;
   CheckReport rep = run_check_stages(c, mutable_c, s, delta, input_override);
   rep.seconds = watch.seconds();
+  telemetry::set_stage_mark(nullptr);
+  telemetry::set_check_mark(nullptr);
+  if (prof::heartbeat_enabled()) prof::ActivityBoard::end_check();
   rep.backtracks = ctr_backtracks.value() - backtracks0;
   rep.decisions = ctr_decisions.value() - decisions0;
   rep.gitd_rounds = ctr_gitd_rounds.value() - gitd0;
@@ -189,17 +200,37 @@ CheckReport Verifier::run_check_stages(
   // the trace (stage_end carries the stage's verdict), nested inside the
   // enclosing check span. The offline analyzer rebuilds its waterfalls
   // from these; the registry stage timers stay the metrics source.
-  const auto open_stage = [](const char* stage) {
+  //
+  // With prof::counters_enabled() each stage also gets a hardware-counter
+  // window (group read at open, delta at close), accumulated twice: into
+  // the CheckReport's StagePerf slot and into the thread's registry under
+  // "perf.stage.<name>.*" — keeping both views additive means the global
+  // registry always equals the sum over per-check reports, regardless of
+  // how checks were spread across workers.
+  const bool perf_on = prof::counters_enabled();
+  prof::CounterSample perf_mark;
+  const auto open_stage = [&](const char* stage) {
+    telemetry::set_stage_mark(stage);
+    if (prof::heartbeat_enabled()) prof::ActivityBoard::set_stage(stage);
+    if (perf_on) perf_mark = prof::thread_counter_group().read();
     if (telemetry::trace_enabled()) {
       telemetry::emit("stage_begin", {{"stage", stage}});
     }
   };
   const auto close_stage = [&](const char* timer, const char* stage,
-                               const char* status, double& slot) {
+                               const char* status, double& slot,
+                               prof::CounterTotals* perf_slot) {
     const std::uint64_t ns = stage_watch.ns();
     reg.timer(timer).add_ns(ns);
     slot += static_cast<double>(ns) * 1e-9;
     stage_watch = telemetry::StopWatch();
+    if (perf_on && perf_slot != nullptr) {
+      const prof::CounterDelta d = prof::delta_between(
+          perf_mark, prof::thread_counter_group().read());
+      perf_slot->add(d);
+      prof::add_to_registry(reg, timer, d);
+    }
+    telemetry::set_stage_mark(nullptr);
     if (telemetry::trace_enabled()) {
       telemetry::emit("stage_end", {{"stage", stage}, {"status", status}});
     }
@@ -238,7 +269,7 @@ CheckReport Verifier::run_check_stages(
   // Stage 1: plain narrowing fixpoint.
   rep.before_gitd = status_of(cs.reach_fixpoint());
   close_stage("stage.narrowing", "narrowing", to_string(rep.before_gitd),
-              rep.stage_seconds.narrowing);
+              rep.stage_seconds.narrowing, &rep.stage_perf.narrowing);
   if (rep.before_gitd == StageStatus::kNoViolation) {
     rep.conclusion = CheckConclusion::kNoViolation;
     return rep;
@@ -250,7 +281,7 @@ CheckReport Verifier::run_check_stages(
     const auto stats = apply_delay_correlation(cs, *mutable_c);
     close_stage("stage.delay_correlation", "delay_correlation",
                 stats.proved_no_violation ? "N" : "P",
-                rep.stage_seconds.narrowing);
+                rep.stage_seconds.narrowing, &rep.stage_perf.narrowing);
     if (stats.proved_no_violation) {
       rep.before_gitd = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
@@ -288,7 +319,7 @@ CheckReport Verifier::run_check_stages(
       }
     }
     close_stage("stage.gitd", "gitd", to_string(rep.after_gitd),
-                rep.stage_seconds.gitd);
+                rep.stage_seconds.gitd, &rep.stage_perf.gitd);
     if (rep.after_gitd == StageStatus::kNoViolation) {
       rep.conclusion = CheckConclusion::kNoViolation;
       return rep;
@@ -313,7 +344,7 @@ CheckReport Verifier::run_check_stages(
            }
          }());
     close_stage("stage.stem", "stem", closed ? "N" : "P",
-                rep.stage_seconds.stem);
+                rep.stage_seconds.stem, &rep.stage_perf.stem);
     if (closed) {
       rep.after_stem = StageStatus::kNoViolation;
       rep.conclusion = CheckConclusion::kNoViolation;
@@ -345,7 +376,8 @@ CheckReport Verifier::run_check_stages(
       break;
   }
   close_stage("stage.case_analysis", "case_analysis",
-              to_string(rep.conclusion), rep.stage_seconds.case_analysis);
+              to_string(rep.conclusion), rep.stage_seconds.case_analysis,
+              &rep.stage_perf.case_analysis);
   return rep;
 }
 
@@ -388,6 +420,7 @@ bool SuiteMerger::add(CheckReport rep) {
   suite_.stage_seconds.gitd += rep.stage_seconds.gitd;
   suite_.stage_seconds.stem += rep.stage_seconds.stem;
   suite_.stage_seconds.case_analysis += rep.stage_seconds.case_analysis;
+  suite_.stage_perf.add(rep.stage_perf);
 
   if (rep.conclusion == CheckConclusion::kViolation) {
     // One witness settles the circuit-level question; later outputs are

@@ -25,6 +25,7 @@
 #include "analysis/carriers.hpp"
 #include "analysis/learning.hpp"
 #include "analysis/scoap.hpp"
+#include "prof/perf_counters.hpp"
 #include "verify/case_analysis.hpp"
 
 namespace waveck {
@@ -93,6 +94,36 @@ struct StageSeconds {
   double case_analysis = 0.0;  // stage 4 FAN search
 };
 
+/// Scaled hardware-counter totals per pipeline stage (perf observatory,
+/// src/prof). Slots mirror StageSeconds — delay correlation folds into
+/// narrowing. Empty (any() == false) when prof::counters_enabled() was off
+/// for the check; hw_valid == false on the wall-clock-only degraded path.
+struct StagePerf {
+  prof::CounterTotals narrowing;
+  prof::CounterTotals gitd;
+  prof::CounterTotals stem;
+  prof::CounterTotals case_analysis;
+
+  void add(const StagePerf& o) {
+    narrowing.add(o.narrowing);
+    gitd.add(o.gitd);
+    stem.add(o.stem);
+    case_analysis.add(o.case_analysis);
+  }
+  [[nodiscard]] bool any() const {
+    return narrowing.any() || gitd.any() || stem.any() ||
+           case_analysis.any();
+  }
+  [[nodiscard]] prof::CounterTotals total() const {
+    prof::CounterTotals t;
+    t.add(narrowing);
+    t.add(gitd);
+    t.add(stem);
+    t.add(case_analysis);
+    return t;
+  }
+};
+
 /// Per-check record. The event tallies (backtracks, decisions, gitd_rounds,
 /// stems_processed, correlated_delay_narrowings) are snapshots of the
 /// telemetry registry counters taken around the check, so they always agree
@@ -113,6 +144,7 @@ struct CheckReport {
   std::optional<std::vector<bool>> vector;  // indexed like Circuit::inputs()
   double seconds = 0.0;
   StageSeconds stage_seconds;
+  StagePerf stage_perf;
 };
 
 /// Aggregate over every primary output (the paper's Table 1 row semantics:
@@ -129,6 +161,7 @@ struct SuiteReport {
   std::vector<CheckReport> per_output;
   double seconds = 0.0;
   StageSeconds stage_seconds;  // summed over per_output
+  StagePerf stage_perf;        // summed over per_output
 };
 
 /// The fixed per-suite check order and the outputs STA alone dismisses.

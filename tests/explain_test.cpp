@@ -230,6 +230,36 @@ TEST(Analyzer, RealTraceMatchesCheckReports) {
   }
 }
 
+TEST(Cli, TextReportCarriesStageQuantiles) {
+  // The stage waterfall now reports exact p50/p90/p99 over per-check stage
+  // durations (order statistics over the real samples, not histogram
+  // buckets).
+  Circuit c = gen::carry_skip_adder(8, 4);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const auto exact = v.exact_floating_delay();
+
+  const std::string path = "explain_test_quantiles.trace.jsonl";
+  {
+    std::ofstream os(path);
+    telemetry::JsonlTraceSink sink(os);
+    telemetry::set_trace_sink(&sink);
+    for (const NetId o : c.outputs()) (void)v.check_output(o, exact.delay);
+    telemetry::set_trace_sink(nullptr);
+  }
+
+  std::ostringstream out, err;
+  const int rc = explain_cli_main({path}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const std::string report = out.str();
+  EXPECT_NE(report.find("stage waterfall"), std::string::npos);
+  EXPECT_NE(report.find("P50"), std::string::npos);
+  EXPECT_NE(report.find("P90"), std::string::npos);
+  EXPECT_NE(report.find("P99"), std::string::npos);
+  EXPECT_NE(report.find("narrowing"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(FuzzIntegration, TraceWellFormedPropertyPasses) {
   Circuit c = gen::carry_skip_adder(8, 4);
   c.set_uniform_delay(DelaySpec::fixed(10));

@@ -1,0 +1,204 @@
+// Strict recursive-descent JSON validity checker shared by the observability
+// tests (prof_test, cli_json_test). Validates full RFC 8259 syntax — no
+// trailing commas, no bare values after the document, proper string escapes
+// and number grammar — because the machine-readable outputs (--json,
+// speedscope, BENCH_history.jsonl) are consumed by real parsers downstream
+// and "looks like JSON" has already let one missing-comma bug ship.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace waveck::testjson {
+
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : s_(text) {}
+
+  /// True iff the whole text is exactly one valid JSON value (surrounding
+  /// whitespace allowed). On failure `error()` describes the first problem.
+  [[nodiscard]] bool valid() {
+    pos_ = 0;
+    err_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing content after document");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_.empty()) {
+      err_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        const char e = peek();
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else {
+          return fail("bad escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      pos_ = start;
+      return fail("expected value");
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+/// One-shot convenience.
+[[nodiscard]] inline bool valid_json(const std::string& text,
+                                     std::string* error = nullptr) {
+  Checker c(text);
+  const bool ok = c.valid();
+  if (!ok && error != nullptr) *error = c.error();
+  return ok;
+}
+
+}  // namespace waveck::testjson

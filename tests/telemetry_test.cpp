@@ -119,6 +119,52 @@ TEST(Histogram, BucketBoundaries) {
   EXPECT_EQ(h.bucket(Histogram::bucket_index(100)), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // All-zero observations: bucket 0 is exact.
+  Histogram zeros;
+  zeros.observe(0);
+  zeros.observe(0);
+  EXPECT_EQ(zeros.quantile(0.99), 0.0);
+
+  // Every observation is 7 -> bucket [4, 8): any quantile must land inside
+  // the bucket's bounds.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(7);
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  // Interpolation is linear in rank: the median of a single full bucket
+  // sits at its midpoint.
+  EXPECT_DOUBLE_EQ(p50, 6.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonic) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(10);     // bucket [8,16)
+  for (int i = 0; i < 9; ++i) h.observe(1000);    // bucket [512,1024)
+  h.observe(70000);                               // overflow bucket
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  EXPECT_GE(p99, 512.0);
+}
+
+TEST(Histogram, SnapshotCarriesQuantiles) {
+  Registry reg;
+  reg.histogram("test.quantile_hist").observe(12);
+  const std::string js = reg.to_json();
+  EXPECT_NE(js.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(js.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(js.find("\"p99\":"), std::string::npos);
+}
+
 TEST(Registry, MetricsPersistAndSnapshotIsJson) {
   auto& reg = Registry::global();
   auto& c = reg.counter("test.registry_counter");

@@ -7,6 +7,7 @@
 //
 // DELAYS is an annotation file (`net dmin dmax`, `*` = default); without
 // one every gate gets the paper's delay of 10.
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -18,6 +19,9 @@
 #include "analysis/learning.hpp"
 #include "common/telemetry.hpp"
 #include "explain/explain_cli.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/perf_counters.hpp"
+#include "prof/profiler.hpp"
 #include "fuzz/engine.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas_suite.hpp"
@@ -42,6 +46,9 @@ using namespace waveck;
 /// 0 = one per hardware thread; 1 = serial (no pool).
 std::size_t g_jobs = 0;
 
+/// Sampling rate for --profile / the profile command (--profile-hz flag).
+std::uint32_t g_profile_hz = 997;
+
 /// One row of the command set; usage() and the file's header comment derive
 /// from this table, so adding a command means adding a row here.
 struct CommandSpec {
@@ -52,7 +59,7 @@ struct CommandSpec {
 
 constexpr CommandSpec kCommands[] = {
     {"sta", "FILE [DELAYS]", "topological timing report"},
-    {"check", "FILE DELTA [OUT] [DELAYS]",
+    {"check", "FILE DELTA [OUT] [DELAYS] [--json]",
      "can a transition occur at/after DELTA?"},
     {"delay", "FILE [DELAYS]", "exact floating-mode delay + witness"},
     {"outputs", "FILE [DELAYS]", "per-output pessimism table"},
@@ -61,6 +68,8 @@ constexpr CommandSpec kCommands[] = {
     {"trans", "FILE V1 V2 [DELAYS]", "two-vector transition delays"},
     {"mc", "FILE [SAMPLES] [DELAYS]", "Monte-Carlo delay lower bound"},
     {"json", "FILE [DELAYS]", "exact delay report as JSON"},
+    {"profile", "FILE [OUT] [DELAYS] [--seconds S]",
+     "CPU-profile the delay search; write speedscope JSON + folded stacks"},
     {"gen", "NAME [v]", "emit a generated circuit as .bench (or Verilog)"},
     {"fuzz", "[--seed N] [--runs N] ...",
      "differential fuzzing vs the exhaustive oracle (see waveck_fuzz)"},
@@ -70,7 +79,8 @@ constexpr CommandSpec kCommands[] = {
 
 int usage() {
   std::cerr << "usage: waveck <command> [--jobs N] [--metrics FILE.json] "
-               "[--trace FILE.jsonl] [args]\n";
+               "[--trace FILE.jsonl] [--counters] [--progress [SECS]] "
+               "[--profile FILE] [args]\n";
   for (const auto& cmd : kCommands) {
     std::cerr << "  " << std::left << std::setw(8) << cmd.name
               << std::setw(26) << cmd.args << cmd.desc << "\n";
@@ -85,7 +95,17 @@ int usage() {
       "                        thread, the default; 1 = serial)\n"
       "  --metrics FILE.json   write the telemetry registry snapshot on exit\n"
       "  --trace FILE.jsonl    stream JSONL engine events (propagate,\n"
-      "                        decision, backtrack, stem, gitd_round, ...)\n";
+      "                        decision, backtrack, stem, gitd_round, ...)\n"
+      "  --counters            per-stage hardware counters (cycles, IPC,\n"
+      "                        cache misses) in reports; degrades to\n"
+      "                        wall-clock when perf_event_open is denied\n"
+      "  --progress [SECS]     heartbeat line to stderr (+ JSONL event)\n"
+      "                        every SECS seconds (default 5) and a\n"
+      "                        watchdog snapshot when progress stalls\n"
+      "  --profile FILE        sample the whole command with the in-process\n"
+      "                        profiler; write speedscope JSON to FILE and\n"
+      "                        collapsed stacks next to it\n"
+      "  --profile-hz N        profiler sampling rate (default 997)\n";
   return 2;
 }
 
@@ -119,7 +139,7 @@ int cmd_sta(const Circuit& c) {
 }
 
 int cmd_check(const Circuit& c, const std::string& delta_str,
-              const std::string& out_name) {
+              const std::string& out_name, bool json) {
   const Time delta(std::stoll(delta_str));
   Verifier v(c);
   if (!out_name.empty()) {
@@ -129,6 +149,10 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
       return 2;
     }
     const auto rep = v.check_output(*net, delta);
+    if (json) {
+      std::cout << to_json(c, rep) << "\n";
+      return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
+    }
     std::cout << "check (" << out_name << ", " << delta
               << "): " << to_string(rep.conclusion) << "  [stages "
               << to_string(rep.before_gitd) << "/" << to_string(rep.after_gitd)
@@ -142,6 +166,10 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
   }
   sched::CheckScheduler s(v, {.jobs = g_jobs});
   const auto rep = s.check_circuit(delta);
+  if (json) {
+    std::cout << to_json(c, rep, /*include_metrics=*/true) << "\n";
+    return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
+  }
   std::cout << "check (all outputs, " << delta
             << "): " << to_string(rep.conclusion) << "  [" << rep.backtracks
             << " backtracks, " << std::fixed << std::setprecision(3)
@@ -258,6 +286,75 @@ int cmd_json(const Circuit& c) {
   return 0;
 }
 
+/// Writes the two profiler artifacts: speedscope JSON at `out` and the
+/// collapsed-stack text next to it (".speedscope.json" -> ".folded").
+int write_profile_outputs(const prof::ProfileReport& rep,
+                          const std::string& out) {
+  std::string folded_path = out;
+  const std::string suffix = ".speedscope.json";
+  if (folded_path.size() > suffix.size() &&
+      folded_path.compare(folded_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+    folded_path.replace(folded_path.size() - suffix.size(), suffix.size(),
+                        ".folded");
+  } else {
+    folded_path += ".folded";
+  }
+  std::ofstream ss(out);
+  if (!ss) {
+    std::cerr << "error: cannot open " << out << "\n";
+    return 2;
+  }
+  ss << rep.speedscope_json << "\n";
+  std::ofstream fs(folded_path);
+  if (!fs) {
+    std::cerr << "error: cannot open " << folded_path << "\n";
+    return 2;
+  }
+  fs << rep.folded;
+  std::cerr << "profile: " << rep.samples << " samples, " << std::fixed
+            << std::setprecision(2) << rep.cpu_seconds << "s cpu";
+  if (rep.dropped > 0) std::cerr << ", " << rep.dropped << " dropped";
+  std::cerr << " -> " << out << " + " << folded_path << "\n";
+  return 0;
+}
+
+int cmd_profile(const Circuit& c, std::string out, double min_seconds) {
+  if (out.empty()) out = c.name() + ".speedscope.json";
+  // When the global --profile flag already armed the profiler this command
+  // only supplies the workload; main() stops it and writes the files.
+  const bool own = !prof::SamplingProfiler::instance().running();
+  if (own) {
+    std::string err;
+    if (!prof::SamplingProfiler::instance().start({.hz = g_profile_hz},
+                                                  &err)) {
+      std::cerr << "error: cannot start profiler: " << err << "\n";
+      return 2;
+    }
+  }
+  Verifier v(c);
+  sched::CheckScheduler s(v, {.jobs = g_jobs});
+  const auto res = s.exact_floating_delay();
+  // Keep both halves of the pipeline hot until the sampling budget is
+  // spent: delta*+1 drives learning/narrowing/gitd/stem to completion,
+  // delta* forces the FAN case analysis to rediscover the witness.
+  const std::uint64_t t0 = prof::monotonic_ns();
+  const auto budget_ns = static_cast<std::uint64_t>(min_seconds * 1e9);
+  std::size_t rounds = 0;
+  if (res.delay.is_finite()) {
+    do {
+      (void)s.check_circuit(Time(res.delay.value() + 1));
+      (void)s.check_circuit(res.delay);
+      ++rounds;
+    } while (prof::monotonic_ns() - t0 < budget_ns);
+  }
+  std::cout << "exact floating delay: " << res.delay << " (topological "
+            << res.topological << ", " << rounds << " profile rounds)\n";
+  if (!own) return 0;
+  const auto rep = prof::SamplingProfiler::instance().stop();
+  return write_profile_outputs(rep, out);
+}
+
 std::vector<bool> parse_bits(const std::string& s, std::size_t n) {
   if (s.size() != n) {
     throw std::invalid_argument("vector must have exactly " +
@@ -337,8 +434,34 @@ int dispatch(const std::vector<std::string>& args) {
   };
   if (cmd == "sta") return cmd_sta(load(file, arg(2)));
   if (cmd == "check") {
-    if (args.size() < 3) return usage();
-    return cmd_check(load(file, arg(4)), args[2], arg(3));
+    // Positionals after FILE: DELTA [OUT] [DELAYS]; --json anywhere.
+    std::vector<std::string> pos;
+    bool json = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        pos.push_back(args[i]);
+      }
+    }
+    if (pos.empty()) return usage();
+    return cmd_check(load(file, pos.size() > 2 ? pos[2] : ""), pos[0],
+                     pos.size() > 1 ? pos[1] : "", json);
+  }
+  if (cmd == "profile") {
+    // Positionals after FILE: [OUT] [DELAYS]; --seconds S anywhere.
+    std::vector<std::string> pos;
+    double seconds = 2.0;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--seconds") {
+        if (i + 1 >= args.size()) return usage();
+        seconds = std::stod(args[++i]);
+      } else {
+        pos.push_back(args[i]);
+      }
+    }
+    return cmd_profile(load(file, pos.size() > 1 ? pos[1] : ""),
+                       pos.empty() ? "" : pos[0], seconds);
   }
   if (cmd == "delay") return cmd_delay(load(file, arg(2)));
   if (cmd == "outputs") return cmd_outputs(load(file, arg(2)));
@@ -364,25 +487,49 @@ int main(int argc, char** argv) {
   // Strip the global telemetry flags first; everything left is positional.
   std::string metrics_path;
   std::string trace_path;
+  std::string profile_path;
+  bool progress_on = false;
+  double progress_interval = 5.0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--metrics" || a == "--trace") {
+    if (a == "--metrics" || a == "--trace" || a == "--profile") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << a << " needs a file argument\n";
         return usage();
       }
-      (a == "--metrics" ? metrics_path : trace_path) = argv[++i];
-    } else if (a == "--jobs") {
+      (a == "--metrics"   ? metrics_path
+       : a == "--trace"   ? trace_path
+                          : profile_path) = argv[++i];
+    } else if (a == "--jobs" || a == "--profile-hz") {
       if (i + 1 >= argc) {
-        std::cerr << "error: --jobs needs a thread count\n";
+        std::cerr << "error: " << a << " needs a number\n";
         return usage();
       }
       try {
-        g_jobs = std::stoull(argv[++i]);
+        if (a == "--jobs") {
+          g_jobs = std::stoull(argv[++i]);
+        } else {
+          g_profile_hz = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        }
       } catch (const std::exception&) {
-        std::cerr << "error: --jobs needs a number, got " << argv[i] << "\n";
+        std::cerr << "error: " << a << " needs a number, got " << argv[i]
+                  << "\n";
         return usage();
+      }
+    } else if (a == "--counters") {
+      prof::set_counters_enabled(true);
+    } else if (a == "--progress") {
+      progress_on = true;
+      // Optional numeric lookahead: `--progress 2 check ...` vs
+      // `--progress check ...`.
+      if (i + 1 < argc) {
+        char* end = nullptr;
+        const double v = std::strtod(argv[i + 1], &end);
+        if (end != argv[i + 1] && *end == '\0' && v > 0.0) {
+          progress_interval = v;
+          ++i;
+        }
       }
     } else {
       args.push_back(a);
@@ -391,17 +538,41 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
 
   std::unique_ptr<telemetry::JsonlTraceSink> sink;
+  std::unique_ptr<prof::ProgressMonitor> monitor;
   int rc = 2;
   try {
     if (!trace_path.empty()) {
       sink = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
       telemetry::set_trace_sink(sink.get());
     }
+    // Monitor after the sink so progress_begin/heartbeat land in the trace.
+    if (progress_on) {
+      monitor = std::make_unique<prof::ProgressMonitor>(
+          prof::HeartbeatOptions{.interval_s = progress_interval},
+          std::cerr);
+    }
+    if (!profile_path.empty()) {
+      std::string err;
+      if (!prof::SamplingProfiler::instance().start({.hz = g_profile_hz},
+                                                    &err)) {
+        std::cerr << "warning: profiler not started: " << err << "\n";
+        profile_path.clear();
+      }
+    }
     rc = dispatch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     rc = 2;
   }
+  // Teardown order matters: stop sampling first (the monitor/sink are not
+  // async-signal-safe), then the monitor (progress_end still reaches the
+  // sink), then the sink itself.
+  if (!profile_path.empty() && prof::SamplingProfiler::instance().running()) {
+    const auto prep = prof::SamplingProfiler::instance().stop();
+    const int prc = write_profile_outputs(prep, profile_path);
+    if (rc == 0 && prc != 0) rc = prc;
+  }
+  monitor.reset();
   telemetry::set_trace_sink(nullptr);
   sink.reset();
   if (!metrics_path.empty()) {

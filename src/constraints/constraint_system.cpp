@@ -177,6 +177,12 @@ void ConstraintSystem::apply_gate(GateId gid) {
 }
 
 ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
+  if (deadline_hit_) {
+    // Expired on an earlier drain and not re-armed since: nothing more to
+    // compute, the caller is on its way to kAbandoned.
+    clear_queue();
+    return Status::kPossibleViolation;
+  }
   const std::uint64_t apps0 = applications_;
   const std::uint64_t nar0 = narrowings_;
   const std::size_t depth0 = queue_size_;
@@ -192,7 +198,21 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
                                                       10000);
   Status status = Status::kPossibleViolation;
   std::size_t peak_queue = queue_size_;
+  // Deadline bookkeeping: one clock read every kDeadlineStride gate
+  // applications (and one up front, so an already-expired deadline never
+  // starts a drain). A hit clears the queue and latches deadline_hit_; the
+  // domains stay sound but are not a fixpoint — callers must abandon.
+  std::uint64_t next_deadline_check =
+      deadline_ns_ != 0 ? applications_ : ~std::uint64_t{0};
   while (queue_size_ > 0) {
+    if (applications_ >= next_deadline_check) {
+      if (prof::monotonic_ns() >= deadline_ns_) {
+        clear_queue();
+        deadline_hit_ = true;
+        break;
+      }
+      next_deadline_check = applications_ + kDeadlineStride;
+    }
     while (buckets_[cursor_].empty()) ++cursor_;
     std::vector<GateId>& bucket = buckets_[cursor_];
     const GateId g = bucket.back();

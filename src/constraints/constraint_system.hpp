@@ -127,11 +127,30 @@ class ConstraintSystem {
     ++drain_gen_;
   }
 
+  // ----- deadlines -----------------------------------------------------------
+  /// Arms (or, with 0, disarms) an absolute monotonic deadline
+  /// (prof::monotonic_ns clock). `reach_fixpoint` checks it every
+  /// `kDeadlineStride` gate applications; once it passes, the drain stops
+  /// early with the queue cleared, `deadline_hit()` latches, and every
+  /// later `reach_fixpoint` call returns immediately. Early exit is sound
+  /// only because callers (the verifier pipeline, the FAN decision loop)
+  /// check `deadline_hit()` right after and conclude kAbandoned — narrowing
+  /// done so far is valid, but the domains are not at a fixpoint.
+  void set_deadline_ns(std::uint64_t expiry_mono_ns) {
+    deadline_ns_ = expiry_mono_ns;
+    deadline_hit_ = false;
+  }
+  [[nodiscard]] std::uint64_t deadline_ns() const { return deadline_ns_; }
+  [[nodiscard]] bool deadline_hit() const { return deadline_hit_; }
+
   // ----- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t applications() const { return applications_; }
   [[nodiscard]] std::uint64_t narrowings() const { return narrowings_; }
 
  private:
+  static constexpr std::uint64_t kDeadlineStride = 4096;
+  std::uint64_t deadline_ns_ = 0;
+  bool deadline_hit_ = false;
   void save_if_needed(NetId n);
   /// Commits a narrowed value for net `n`: trail, events, learning.
   void commit_domain(NetId n, const AbstractSignal& value, GateId source);

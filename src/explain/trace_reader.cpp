@@ -159,8 +159,8 @@ std::int64_t TraceEvent::num(std::string_view key, std::int64_t dflt) const {
   return v != nullptr && v->kind == TraceValue::Kind::kNumber ? v->i : dflt;
 }
 
-bool parse_trace_line(std::string_view line, TraceEvent& out,
-                      std::string& err) {
+bool parse_flat_object(std::string_view line, TraceEvent& out,
+                       std::string& err) {
   out = TraceEvent{};
   std::size_t i = 0;
   skip_ws(line, i);
@@ -218,6 +218,12 @@ bool parse_trace_line(std::string_view line, TraceEvent& out,
     else if (k == "chk") out.chk = v.i;
     else if (k == "dec") out.dec = v.i;
   }
+  return true;
+}
+
+bool parse_trace_line(std::string_view line, TraceEvent& out,
+                      std::string& err) {
+  if (!parse_flat_object(line, out, err)) return false;
   if (out.ev.empty()) {
     err = "missing \"ev\" field";
     return false;

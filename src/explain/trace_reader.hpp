@@ -55,6 +55,12 @@ struct TraceEvent {
 bool parse_trace_line(std::string_view line, TraceEvent& out,
                       std::string& err);
 
+/// Same grammar without the trace-specific "ev" requirement: any flat JSON
+/// object parses. The serve daemon's request parser (src/serve) reuses this
+/// so the wire format and the trace format stay one dialect.
+bool parse_flat_object(std::string_view line, TraceEvent& out,
+                       std::string& err);
+
 /// Re-serializes `ev` exactly as the sink wrote it, minus any field whose
 /// key is in `strip`. Raw tokens are copied verbatim, so the output of a
 /// no-op strip is byte-identical to the input line.

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/telemetry.hpp"
 #include "explain/analyzer.hpp"
@@ -252,15 +253,10 @@ PropertyResult check_nor_remap(const Circuit& c, const BatteryOptions& opt) {
 }
 
 /// Suite JSON with the wall-clock fields zeroed: the determinism contract
-/// (doc/PARALLELISM.md) covers everything except timing.
+/// (doc/PARALLELISM.md) covers everything except timing. Shared with the
+/// CLI (--canon) and the serve daemon via report_io.
 std::string canonical_suite_json(const Circuit& c, SuiteReport rep) {
-  rep.seconds = 0.0;
-  rep.stage_seconds = StageSeconds{};
-  for (auto& out : rep.per_output) {
-    out.seconds = 0.0;
-    out.stage_seconds = StageSeconds{};
-  }
-  return to_json(c, rep, /*include_metrics=*/false);
+  return canonical_json(c, std::move(rep));
 }
 
 PropertyResult check_cache_equivalence(const Circuit& c,

@@ -1,0 +1,74 @@
+#include "netlist/content_hash.hpp"
+
+#include <cstddef>
+
+#include "netlist/circuit.hpp"
+
+namespace waveck {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv1a {
+  std::uint64_t h = kFnvOffset;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    // Length-prefixed so {"ab","c"} and {"a","bc"} never collide.
+    u64(s.size());
+    for (char ch : s) byte(static_cast<std::uint8_t>(ch));
+  }
+};
+
+}  // namespace
+
+std::uint64_t content_hash(const Circuit& c) {
+  Fnv1a f;
+  f.u64(c.num_nets());
+  for (NetId n : c.all_nets()) {
+    const Net& net = c.net(n);
+    f.str(net.name);
+    f.byte(net.is_primary_input ? 1 : 0);
+    f.byte(net.is_primary_output ? 1 : 0);
+  }
+  f.u64(c.num_gates());
+  for (GateId g : c.all_gates()) {
+    const Gate& gate = c.gate(g);
+    f.byte(static_cast<std::uint8_t>(gate.type));
+    f.i64(gate.delay.dmin);
+    f.i64(gate.delay.dmax);
+    f.i64(gate.delay.group);
+    f.u64(gate.out.index());
+    f.u64(gate.ins.size());
+    for (NetId in : gate.ins) f.u64(in.index());
+  }
+  // Declaration order of the primary I/O matters to the engine (suite plans
+  // and vectors are indexed by it), so it is part of the identity.
+  f.u64(c.inputs().size());
+  for (NetId n : c.inputs()) f.u64(n.index());
+  f.u64(c.outputs().size());
+  for (NetId n : c.outputs()) f.u64(n.index());
+  return f.h;
+}
+
+std::string content_hash_hex(const Circuit& c) {
+  const std::uint64_t h = content_hash(c);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    const auto nibble =
+        static_cast<unsigned>((h >> (4 * (15 - i))) & 0xF);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+  }
+  return out;
+}
+
+}  // namespace waveck

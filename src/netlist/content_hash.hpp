@@ -1,0 +1,32 @@
+// Structural content hash of a circuit.
+//
+// The serve daemon (src/serve) keys resident circuits by (namespace name,
+// content hash): a re-`load` under the same name is idempotent when the
+// netlist is byte-for-byte the same structure and rejected (hash_mismatch)
+// when it is not, so two clients can never silently run checks against
+// different circuits under one name.
+//
+// The hash covers everything the verification result depends on — net
+// names, gate types, connectivity, delay intervals and correlation groups,
+// input/output declarations — and nothing it does not (no pointers, no
+// construction order beyond the stored net/gate order, which the engine
+// itself treats as significant). FNV-1a 64 over a flat serialization:
+// stable across processes and runs, not across changes to this file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace waveck {
+
+class Circuit;
+
+/// 64-bit FNV-1a over the circuit's structure and delays. The circuit must
+/// be finalized (the hash includes the input/output declarations).
+[[nodiscard]] std::uint64_t content_hash(const Circuit& c);
+
+/// The hash as fixed-width lowercase hex ("%016x") — the wire form used in
+/// serve `load`/`list` responses.
+[[nodiscard]] std::string content_hash_hex(const Circuit& c);
+
+}  // namespace waveck

@@ -9,6 +9,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+
+#include "prof/perf_counters.hpp"
 
 namespace waveck::sched {
 
@@ -22,8 +25,32 @@ class CancellationToken {
   [[nodiscard]] bool cancelled() const noexcept {
     return cancelled_.load(std::memory_order_acquire);
   }
+
+  /// Arms an absolute monotonic deadline (prof::monotonic_ns clock; 0
+  /// disarms). Once the clock passes it, the next poll() latches cancel(),
+  /// so workers that only watch `flag()` observe a deadline as a normal
+  /// cancellation. Arm between batches, like reset().
+  void arm_deadline(std::uint64_t expiry_mono_ns) noexcept {
+    deadline_ns_.store(expiry_mono_ns, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t deadline_ns() const noexcept {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+  /// Checks the deadline against the clock, latching cancel() on expiry.
+  /// Returns the combined cancelled-or-expired state. Any thread may poll.
+  bool poll() noexcept {
+    if (cancelled()) return true;
+    const std::uint64_t dl = deadline_ns();
+    if (dl != 0 && prof::monotonic_ns() >= dl) {
+      cancel();
+      return true;
+    }
+    return false;
+  }
+
   /// Re-arms the token for the next batch (e.g. the next exact-delay
-  /// probe). Only call between batches, never while workers are running.
+  /// probe); the deadline, if armed, stays armed. Only call between
+  /// batches, never while workers are running.
   void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
 
   /// The raw flag, for engine layers that poll a plain atomic (the case
@@ -35,6 +62,7 @@ class CancellationToken {
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};
 };
 
 }  // namespace waveck::sched

@@ -74,7 +74,9 @@ SuiteReport CheckScheduler::check_circuit(Time delta) {
     }
     batch.push_back([this, &plan, &slots, &first_violation, &worker_regs,
                      delta, i](std::size_t worker) {
-      if (token_.cancelled()) return;  // witness-only: batch already decided
+      // poll(): latches cancel when the token's deadline has passed, so an
+      // expired batch stops claiming work (cancelled or expired: skip).
+      if (token_.poll()) return;
       if (i > first_violation.load(std::memory_order_acquire)) {
         return;  // ordered after a known violation: serial never ran it
       }
@@ -122,7 +124,15 @@ SuiteReport CheckScheduler::check_circuit(Time delta) {
     telemetry::emit("batch_end", {{"delta", delta.value()},
                                   {"checks_skipped", cancelled}});
   }
-  return std::move(merger).finish(watch.seconds());
+  SuiteReport suite = std::move(merger).finish(watch.seconds());
+  // A cancelled/expired batch merged from an incomplete slot set must not
+  // report a proof: unless a violation settled the suite anyway, the honest
+  // circuit-level answer is "abandoned" (witness-only merges that did find
+  // their witness are untouched — V is present and wins).
+  if (cancelled > 0 && suite.conclusion != CheckConclusion::kViolation) {
+    suite.conclusion = CheckConclusion::kAbandoned;
+  }
+  return suite;
 }
 
 Verifier::ExactDelayResult CheckScheduler::exact_floating_delay() {

@@ -1,0 +1,126 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace waveck::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::connect_unix(const std::string& path, std::string* err) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err != nullptr) {
+      *err = "connect " + path + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(int port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err != nullptr) {
+      *err = "connect port " + std::to_string(port) + ": " +
+             std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  if (out.empty() || out.back() != '\n') out += '\n';
+  const char* p = out.data();
+  std::size_t n = out.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string* out) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *out = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> Client::round_trip(const std::string& line) {
+  if (!send_line(line)) return std::nullopt;
+  std::string out;
+  if (!recv_line(&out)) return std::nullopt;
+  return out;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+}  // namespace waveck::serve

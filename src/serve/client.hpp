@@ -1,0 +1,44 @@
+// Minimal blocking JSONL client for the serve protocol.
+//
+// One request line out, one response line back; used by the `waveck
+// client` subcommand and the in-process protocol tests. Intentionally
+// dependency-free: a client needs none of the engine.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace waveck::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain socket. False + `*err` on failure.
+  bool connect_unix(const std::string& path, std::string* err);
+  /// Connects to a loopback TCP port.
+  bool connect_tcp(int port, std::string* err);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line (a trailing '\n' is added when missing).
+  bool send_line(const std::string& line);
+  /// Receives the next response line (without the '\n'). False on EOF or
+  /// error.
+  bool recv_line(std::string* out);
+  /// send_line + recv_line.
+  [[nodiscard]] std::optional<std::string> round_trip(
+      const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace waveck::serve

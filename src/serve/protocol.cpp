@@ -1,0 +1,229 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "common/telemetry.hpp"
+#include "explain/trace_reader.hpp"
+
+namespace waveck::serve {
+namespace {
+
+ParseResult fail(std::string id, std::string code, std::string message) {
+  ParseResult r;
+  r.ok = false;
+  r.id = std::move(id);
+  r.error = std::move(code);
+  r.message = std::move(message);
+  return r;
+}
+
+/// Required string field: non-empty string value.
+bool need_str(const explain::TraceEvent& ev, const char* key,
+              std::string* out) {
+  const explain::TraceValue* v = ev.find(key);
+  if (v == nullptr || v->kind != explain::TraceValue::Kind::kString ||
+      v->str.empty()) {
+    return false;
+  }
+  *out = v->str;
+  return true;
+}
+
+/// Optional string field ("" when absent).
+std::string opt_str(const explain::TraceEvent& ev, const char* key) {
+  const explain::TraceValue* v = ev.find(key);
+  if (v == nullptr || v->kind != explain::TraceValue::Kind::kString) return "";
+  return v->str;
+}
+
+bool opt_num(const explain::TraceEvent& ev, const char* key,
+             std::int64_t* out) {
+  const explain::TraceValue* v = ev.find(key);
+  if (v == nullptr || v->kind != explain::TraceValue::Kind::kNumber) {
+    return false;
+  }
+  *out = v->i;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kLoad: return "load";
+    case Op::kUnload: return "unload";
+    case Op::kList: return "list";
+    case Op::kStats: return "stats";
+    case Op::kCheck: return "check";
+    case Op::kShutdown: return "shutdown";
+    case Op::kDebugStall: return "debug_stall";
+  }
+  return "?";
+}
+
+ParseResult parse_request(const std::string& line, bool debug_ops_enabled) {
+  explain::TraceEvent ev;
+  std::string err;
+  if (!explain::parse_flat_object(line, ev, err)) {
+    return fail("", "parse_error", err);
+  }
+  const std::string id = opt_str(ev, "id");
+  std::string op_name;
+  if (!need_str(ev, "op", &op_name)) {
+    return fail(id, "missing_field", "request needs a string \"op\" field");
+  }
+
+  ParseResult r;
+  r.ok = true;
+  r.id = id;
+  r.req.id = id;
+  Request& q = r.req;
+
+  if (op_name == "ping") {
+    q.op = Op::kPing;
+  } else if (op_name == "list") {
+    q.op = Op::kList;
+  } else if (op_name == "stats") {
+    q.op = Op::kStats;
+  } else if (op_name == "shutdown") {
+    q.op = Op::kShutdown;
+  } else if (op_name == "load") {
+    q.op = Op::kLoad;
+    if (!need_str(ev, "name", &q.name)) {
+      return fail(id, "missing_field", "load needs \"name\"");
+    }
+    if (!need_str(ev, "file", &q.file)) {
+      return fail(id, "missing_field", "load needs \"file\"");
+    }
+    q.delays = opt_str(ev, "delays");
+    q.hash = opt_str(ev, "hash");
+  } else if (op_name == "unload") {
+    q.op = Op::kUnload;
+    if (!need_str(ev, "name", &q.name)) {
+      return fail(id, "missing_field", "unload needs \"name\"");
+    }
+  } else if (op_name == "check") {
+    q.op = Op::kCheck;
+    if (!need_str(ev, "circuit", &q.circuit)) {
+      return fail(id, "missing_field", "check needs \"circuit\"");
+    }
+    if (!opt_num(ev, "delta", &q.delta)) {
+      return fail(id, "missing_field", "check needs a numeric \"delta\"");
+    }
+    q.output = opt_str(ev, "output");
+    std::int64_t tmo = 0;
+    if (opt_num(ev, "timeout_ms", &tmo)) {
+      if (tmo < 0) {
+        return fail(id, "missing_field", "\"timeout_ms\" must be >= 0");
+      }
+      q.timeout_ms = static_cast<std::uint64_t>(tmo);
+    }
+  } else if (op_name == "debug_stall") {
+    // Hidden behind --enable-debug-ops: reported as unknown when disabled,
+    // so production servers don't advertise a self-wedging endpoint.
+    if (!debug_ops_enabled) {
+      return fail(id, "unknown_op", "unknown op \"" + op_name + "\"");
+    }
+    q.op = Op::kDebugStall;
+    std::int64_t ms = 0;
+    if (!opt_num(ev, "ms", &ms) || ms < 0) {
+      return fail(id, "missing_field", "debug_stall needs a numeric \"ms\"");
+    }
+    q.stall_ms = static_cast<std::uint64_t>(ms);
+  } else {
+    return fail(id, "unknown_op", "unknown op \"" + op_name + "\"");
+  }
+  return r;
+}
+
+ResponseWriter::ResponseWriter(const std::string& id, const char* op) {
+  out_.reserve(128);
+  out_ += '{';
+  if (!id.empty()) {
+    out_ += "\"id\":\"";
+    out_ += telemetry::json_escape(id);
+    out_ += "\",";
+  }
+  out_ += "\"op\":\"";
+  out_ += op;
+  out_ += '"';
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, const std::string& v) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":\"" + telemetry::json_escape(v) + "\"";
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, const char* v) {
+  return field(key, std::string(v));
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, std::int64_t v) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":" + std::to_string(v);
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, std::uint64_t v) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":" + std::to_string(v);
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, bool v) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += v ? "\":true" : "\":false";
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::raw(const char* key, const std::string& json) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":" + json;
+  return *this;
+}
+
+std::string ResponseWriter::done() && {
+  out_ += "}\n";
+  return std::move(out_);
+}
+
+ResponseWriter ok_response(const std::string& id, Op op) {
+  ResponseWriter w(id, to_string(op));
+  w.field("ok", true);
+  return w;
+}
+
+namespace {
+
+std::string error_response_impl(const std::string& id, const char* op,
+                                const std::string& code,
+                                const std::string& message) {
+  ResponseWriter w(id, op);
+  w.field("ok", false);
+  w.field("error", code);
+  w.field("message", message);
+  return std::move(w).done();
+}
+
+}  // namespace
+
+std::string error_response(const std::string& id, Op op,
+                           const std::string& code,
+                           const std::string& message) {
+  return error_response_impl(id, to_string(op), code, message);
+}
+
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message) {
+  // Lines that failed before an op was recognisable respond as op "error".
+  return error_response_impl(id, "error", code, message);
+}
+
+}  // namespace waveck::serve

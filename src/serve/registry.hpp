@@ -1,0 +1,108 @@
+// Multi-tenant resident-circuit registry for the serve daemon.
+//
+// Each `load` materialises a ResidentCircuit: the finalized netlist plus
+// the expensive per-circuit state the offline CLI rebuilds on every
+// invocation — a Verifier (whose prepare_shared() analyses and
+// CarrierCache persist across requests) and a CheckScheduler for
+// whole-circuit suites. Entries are keyed by namespace name; the content
+// hash (netlist/content_hash.hpp) pins the identity: re-loading the same
+// structure under the same name is idempotent, a different structure is a
+// hash_mismatch error, never a silent swap.
+//
+// Thread model: the registry map is mutex-guarded (IO thread loads/unloads
+// while the worker resolves names). The ResidentCircuit internals
+// (Verifier, scheduler, stats) are NOT locked here — every check runs on
+// the single worker thread, which is the only caller of check_* on a
+// resident entry. shared_ptr keeps an entry alive across an unload that
+// races an in-flight check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sched/check_scheduler.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck::serve {
+
+/// Relaxed atomics: the worker thread writes, `list`/`stats` snapshots read
+/// from the IO thread.
+struct ResidentStats {
+  std::atomic<std::uint64_t> checks{0};   // check requests run to completion
+  std::atomic<std::uint64_t> batches{0};  // worker batches on this circuit
+  std::atomic<std::uint64_t> prepare_runs{0};  // stays at 1: state resident
+};
+
+class ResidentCircuit {
+ public:
+  /// `c` must be finalized. `jobs` is the scheduler fan-out for
+  /// whole-circuit checks (1 = serial inline).
+  ResidentCircuit(std::string name, Circuit c, std::size_t jobs);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& hash() const { return hash_; }
+  [[nodiscard]] const Circuit& circuit() const { return circuit_; }
+  [[nodiscard]] Verifier& verifier() { return verifier_; }
+  [[nodiscard]] sched::CheckScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] ResidentStats& stats() { return stats_; }
+
+  /// Runs the shared analyses once; later calls are no-ops (worker thread
+  /// only). Returns true when this call did the work.
+  bool ensure_prepared();
+
+ private:
+  std::string name_;
+  std::string hash_;
+  Circuit circuit_;  // must outlive verifier_ (holds a const reference)
+  Verifier verifier_;
+  sched::CheckScheduler scheduler_;
+  ResidentStats stats_;
+  bool prepared_ = false;
+};
+
+using ResidentPtr = std::shared_ptr<ResidentCircuit>;
+
+struct LoadOutcome {
+  ResidentPtr resident;        // null on hash_mismatch
+  bool already_loaded = false; // same name + same hash: idempotent no-op
+  bool hash_mismatch = false;  // same name, different structure
+  std::string existing_hash;   // filled on both non-fresh outcomes
+};
+
+struct ResidentInfo {
+  std::string name;
+  std::string hash;
+  std::size_t nets = 0;
+  std::size_t gates = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::uint64_t checks = 0;
+};
+
+class CircuitRegistry {
+ public:
+  explicit CircuitRegistry(std::size_t jobs) : jobs_(jobs) {}
+
+  /// Registers `c` under `name` (see LoadOutcome for the collision rules).
+  [[nodiscard]] LoadOutcome load(const std::string& name, Circuit c);
+  /// Removes the entry; in-flight checks keep their shared_ptr. Returns
+  /// false when the name is not resident.
+  bool unload(const std::string& name);
+  [[nodiscard]] ResidentPtr get(const std::string& name);
+  /// Name-sorted snapshot for the `list` op.
+  [[nodiscard]] std::vector<ResidentInfo> list();
+  [[nodiscard]] std::size_t size();
+
+ private:
+  std::size_t jobs_;
+  std::mutex mu_;
+  std::unordered_map<std::string, ResidentPtr> by_name_;
+};
+
+}  // namespace waveck::serve

@@ -1,0 +1,712 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/telemetry.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/content_hash.hpp"
+#include "netlist/delay_annotation.hpp"
+#include "netlist/transforms.hpp"
+#include "netlist/verilog_io.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/perf_counters.hpp"
+#include "verify/report_io.hpp"
+
+namespace waveck::serve {
+namespace {
+
+/// A request line longer than this without a newline is a protocol abuse;
+/// the connection is answered with parse_error and closed.
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+telemetry::Counter& counter(const char* name) {
+  return telemetry::Registry::global().counter(name);
+}
+
+/// Self-pipe write end for the signal handler (async-signal-safe: only
+/// write() touches it).
+std::atomic<int> g_signal_wake_fd{-1};
+
+void on_shutdown_signal(int /*sig*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+/// Mirrors the offline CLI's netlist loading exactly (tools/waveck_cli.cpp
+/// `load`): same readers, same default uniform delay of 10, same solver
+/// decomposition — a prerequisite for served reports being byte-identical
+/// to offline ones.
+Circuit load_circuit(const std::string& path, const std::string& delays) {
+  const bool verilog =
+      path.size() > 2 && path.compare(path.size() - 2, 2, ".v") == 0;
+  Circuit c = verilog ? read_verilog_file(path) : read_bench_file(path);
+  if (!delays.empty()) {
+    read_delays_file(delays, c);
+  } else {
+    c.set_uniform_delay(DelaySpec::fixed(10));
+  }
+  return decompose_for_solver(c);
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::string inbuf;
+  std::mutex write_mu;  // serialises worker/IO writes; guards fd teardown
+  bool closed = false;  // IO thread only
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (fd < 0) return;
+    const char* p = line.data();
+    std::size_t n = line.size();
+    while (n > 0) {
+      const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return;  // peer gone; IO thread reaps on next poll
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  }
+
+  void close_fd() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+};
+
+struct Server::Pending {
+  std::shared_ptr<Connection> conn;
+  Request req;
+  std::uint64_t expiry_ns = 0;  // absolute monotonic deadline; 0 = none
+};
+
+Server::Server(ServeOptions opt)
+    : opt_(std::move(opt)), registry_(opt_.jobs == 0 ? 1 : opt_.jobs) {}
+
+Server::~Server() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_worker_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  monitor_.reset();
+  for (const auto& conn : conns_) conn->close_fd();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!opt_.socket_path.empty() && started_) {
+    ::unlink(opt_.socket_path.c_str());
+  }
+  g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+bool Server::bind_unix(std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *err = "socket path too long: " + opt_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_fd_ < 0) {
+    *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(opt_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(unix_fd_, 64) < 0) {
+    *err = "bind " + opt_.socket_path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Server::bind_tcp(std::string* err) {
+  tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (tcp_fd_ < 0) {
+    *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only: no
+  // authentication story, so never listen on a routable interface.
+  addr.sin_port =
+      htons(opt_.tcp_port > 0 ? static_cast<std::uint16_t>(opt_.tcp_port)
+                              : 0);
+  if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(tcp_fd_, 64) < 0) {
+    *err = "bind tcp port " + std::to_string(opt_.tcp_port) + ": " +
+           std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+bool Server::start(std::string* err) {
+  if (opt_.socket_path.empty() && opt_.tcp_port == 0) {
+    *err = "serve needs a --socket path or a --tcp port";
+    return false;
+  }
+  if (::pipe(wake_pipe_) < 0) {
+    *err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (!opt_.socket_path.empty() && !bind_unix(err)) return false;
+  if (opt_.tcp_port != 0 && !bind_tcp(err)) return false;
+  if (opt_.handle_signals) {
+    g_signal_wake_fd.store(wake_pipe_[1], std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = on_shutdown_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+  }
+  if (opt_.heartbeat_s > 0.0) {
+    monitor_ = std::make_unique<prof::ProgressMonitor>(
+        prof::HeartbeatOptions{.interval_s = opt_.heartbeat_s,
+                               .stall_s = opt_.stall_s},
+        std::cerr);
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+  started_ = true;
+  return true;
+}
+
+void Server::request_shutdown() {
+  const char b = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void Server::run() {
+  if (!started_) return;
+  std::vector<pollfd> pfds;
+  bool shutdown = false;
+  while (!shutdown) {
+    pfds.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    int unix_idx = -1;
+    int tcp_idx = -1;
+    if (unix_fd_ >= 0) {
+      unix_idx = static_cast<int>(pfds.size());
+      pfds.push_back({unix_fd_, POLLIN, 0});
+    }
+    if (tcp_fd_ >= 0) {
+      tcp_idx = static_cast<int>(pfds.size());
+      pfds.push_back({tcp_fd_, POLLIN, 0});
+    }
+    const std::size_t conn_base = pfds.size();
+    for (const auto& conn : conns_) {
+      pfds.push_back({conn->fd, POLLIN, 0});
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      shutdown = true;  // drained by close; no need to read the bytes
+      continue;
+    }
+    const auto accept_on = [this](int listen_fd) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conns_.push_back(std::move(conn));
+    };
+    if (unix_idx >= 0 && (pfds[unix_idx].revents & POLLIN) != 0) {
+      accept_on(unix_fd_);
+    }
+    if (tcp_idx >= 0 && (pfds[tcp_idx].revents & POLLIN) != 0) {
+      accept_on(tcp_fd_);
+    }
+    for (std::size_t i = 0; i < conns_.size() && conn_base + i < pfds.size();
+         ++i) {
+      const short rev = pfds[conn_base + i].revents;
+      if ((rev & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        handle_readable(conns_[i]);
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::shared_ptr<Connection>& c) {
+                                  return c->closed;
+                                }),
+                 conns_.end());
+  }
+
+  // Teardown: stop accepting, abort the in-flight check (cancel flag),
+  // let the worker drain the queue as shutting_down errors, then report.
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_worker_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  monitor_.reset();
+  for (const auto& conn : conns_) conn->close_fd();
+  conns_.clear();
+  if (!opt_.socket_path.empty()) ::unlink(opt_.socket_path.c_str());
+  final_stats_line();
+}
+
+void Server::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    conn->closed = true;  // EOF or hard error
+    break;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn->inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = conn->inbuf.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty()) handle_line(conn, line);
+    if (conn->closed) break;
+  }
+  conn->inbuf.erase(0, start);
+  if (conn->inbuf.size() > kMaxLineBytes) {
+    counter("serve.errors").inc();
+    send(conn, error_response("", "parse_error",
+                              "request line exceeds 1 MiB"));
+    conn->closed = true;
+  }
+  if (conn->closed) conn->close_fd();
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  counter("serve.requests").inc();
+  ParseResult parsed = parse_request(line, opt_.enable_debug_ops);
+  if (!parsed.ok) {
+    counter("serve.errors").inc();
+    send(conn, error_response(parsed.id, parsed.error, parsed.message));
+    return;
+  }
+  const Request& req = parsed.req;
+  switch (req.op) {
+    case Op::kPing: {
+      ResponseWriter w = ok_response(req.id, Op::kPing);
+      w.field("resident", static_cast<std::uint64_t>(registry_.size()));
+      send(conn, std::move(w).done());
+      return;
+    }
+    case Op::kList:
+      send(conn, list_response(req.id));
+      return;
+    case Op::kStats:
+      send(conn, stats_response(req.id));
+      return;
+    case Op::kLoad:
+      handle_load(conn, req);
+      return;
+    case Op::kUnload: {
+      if (!registry_.unload(req.name)) {
+        counter("serve.errors").inc();
+        send(conn, error_response(req.id, Op::kUnload, "unknown_circuit",
+                                  "no circuit named \"" + req.name + "\""));
+        return;
+      }
+      ResponseWriter w = ok_response(req.id, Op::kUnload);
+      w.field("name", req.name);
+      send(conn, std::move(w).done());
+      return;
+    }
+    case Op::kShutdown: {
+      ResponseWriter w = ok_response(req.id, Op::kShutdown);
+      send(conn, std::move(w).done());
+      request_shutdown();
+      return;
+    }
+    case Op::kCheck:
+    case Op::kDebugStall:
+      enqueue(conn, req);
+      return;
+  }
+}
+
+void Server::handle_load(const std::shared_ptr<Connection>& conn,
+                         const Request& req) {
+  Circuit c;
+  try {
+    c = load_circuit(req.file, req.delays);
+  } catch (const std::exception& e) {
+    counter("serve.errors").inc();
+    send(conn, error_response(req.id, Op::kLoad, "load_failed", e.what()));
+    return;
+  }
+  const std::string hash = content_hash_hex(c);
+  if (!req.hash.empty() && req.hash != hash) {
+    counter("serve.errors").inc();
+    send(conn, error_response(req.id, Op::kLoad, "hash_mismatch",
+                              "expected hash " + req.hash +
+                                  " but \"" + req.file + "\" hashes to " +
+                                  hash));
+    return;
+  }
+  LoadOutcome out = registry_.load(req.name, std::move(c));
+  if (out.hash_mismatch) {
+    counter("serve.errors").inc();
+    send(conn, error_response(
+                   req.id, Op::kLoad, "hash_mismatch",
+                   "name \"" + req.name + "\" is bound to hash " +
+                       out.existing_hash + ", refusing to rebind to " + hash +
+                       " (unload first)"));
+    return;
+  }
+  if (!out.already_loaded) {
+    // Fresh entries get the server's shutdown flag as their cancel flag,
+    // so a drain aborts the in-flight search at a decision boundary. Safe
+    // here: no check for this entry can be queued before this response.
+    out.resident->verifier().set_cancel_flag(&stopping_);
+  }
+  ResponseWriter w = ok_response(req.id, Op::kLoad);
+  w.field("name", out.resident->name());
+  w.field("hash", out.resident->hash());
+  w.field("circuit", out.resident->circuit().name());
+  w.field("nets",
+          static_cast<std::uint64_t>(out.resident->circuit().num_nets()));
+  w.field("gates",
+          static_cast<std::uint64_t>(out.resident->circuit().num_gates()));
+  w.field("inputs", static_cast<std::uint64_t>(
+                        out.resident->circuit().inputs().size()));
+  w.field("outputs", static_cast<std::uint64_t>(
+                         out.resident->circuit().outputs().size()));
+  w.field("already_loaded", out.already_loaded);
+  send(conn, std::move(w).done());
+}
+
+void Server::enqueue(const std::shared_ptr<Connection>& conn,
+                     const Request& req) {
+  Pending p;
+  p.conn = conn;
+  p.req = req;
+  const std::uint64_t timeout_ms =
+      req.timeout_ms ? *req.timeout_ms : opt_.default_timeout_ms;
+  if (req.op == Op::kCheck && timeout_ms > 0) {
+    p.expiry_ns = prof::monotonic_ns() + timeout_ms * 1'000'000ull;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= opt_.queue_cap) {
+      counter("serve.overloaded").inc();
+      counter("serve.errors").inc();
+      send(conn, error_response(req.id, req.op, "overloaded",
+                                "check queue full (cap " +
+                                    std::to_string(opt_.queue_cap) + ")"));
+      return;
+    }
+    queue_.push_back(std::move(p));
+    telemetry::Registry::global()
+        .gauge("serve.queue_depth")
+        .set(static_cast<std::int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_worker_ || !queue_.empty(); });
+      if (stop_worker_) break;  // leftovers drain below, as errors
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (batch[0].req.op == Op::kCheck) {
+        // Coalesce: every queued check for the same circuit joins this
+        // batch (order within the batch is queue order; unrelated requests
+        // keep their positions).
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < opt_.max_batch;) {
+          if (it->req.op == Op::kCheck &&
+              it->req.circuit == batch[0].req.circuit) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      telemetry::Registry::global()
+          .gauge("serve.queue_depth")
+          .set(static_cast<std::int64_t>(queue_.size()));
+    }
+    run_batch(std::move(batch));
+  }
+
+  std::deque<Pending> rest;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    rest.swap(queue_);
+  }
+  for (const Pending& p : rest) {
+    counter("serve.errors").inc();
+    send(p.conn, error_response(p.req.id, p.req.op, "shutting_down",
+                                "server is shutting down"));
+  }
+}
+
+void Server::run_batch(std::vector<Pending> batch) {
+  if (batch[0].req.op == Op::kDebugStall) {
+    run_stall(batch[0]);
+    return;
+  }
+  counter("serve.batches").inc();
+  counter("serve.batch.coalesced").add(batch.size() - 1);
+  ResidentPtr resident = registry_.get(batch[0].req.circuit);
+  if (resident == nullptr) {
+    for (const Pending& p : batch) {
+      counter("serve.errors").inc();
+      send(p.conn,
+           error_response(p.req.id, Op::kCheck, "unknown_circuit",
+                          "no circuit named \"" + p.req.circuit +
+                              "\" (load it first)"));
+    }
+    return;
+  }
+  resident->stats().batches.fetch_add(1, std::memory_order_relaxed);
+  run_checks(resident, std::move(batch));
+}
+
+void Server::run_checks(const ResidentPtr& resident,
+                        std::vector<Pending> group) {
+  const Circuit& c = resident->circuit();
+  Verifier& v = resident->verifier();
+
+  // Requests whose deadline passed while queued: answered without running.
+  std::vector<Pending> live;
+  live.reserve(group.size());
+  const std::uint64_t now = prof::monotonic_ns();
+  for (Pending& p : group) {
+    if (p.expiry_ns != 0 && now >= p.expiry_ns) {
+      counter("serve.deadline_expired").inc();
+      counter("serve.errors").inc();
+      send(p.conn, error_response(p.req.id, Op::kCheck, "deadline_expired",
+                                  "deadline passed while queued"));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+  resident->ensure_prepared();
+
+  // Dedup identical work within the batch: one engine run per distinct
+  // (delta, output), fanned out to every requester. First-seen order.
+  std::map<std::pair<std::int64_t, std::string>, std::size_t> index;
+  std::vector<std::vector<Pending>> unique_runs;
+  for (Pending& p : live) {
+    const auto key = std::make_pair(p.req.delta, p.req.output);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(key, unique_runs.size());
+      unique_runs.push_back({});
+      unique_runs.back().push_back(std::move(p));
+    } else {
+      counter("serve.batch.deduped").inc();
+      unique_runs[it->second].push_back(std::move(p));
+    }
+  }
+
+  for (std::vector<Pending>& run : unique_runs) {
+    // The run's deadline is the loosest among its requesters: a no-deadline
+    // requester keeps the run unbounded, otherwise the max expiry wins (a
+    // tighter requester may receive its answer late rather than never).
+    std::uint64_t expiry = 0;
+    bool unbounded = false;
+    for (const Pending& p : run) {
+      if (p.expiry_ns == 0) unbounded = true;
+      expiry = std::max(expiry, p.expiry_ns);
+    }
+    if (unbounded) expiry = 0;
+
+    const Request& rq = run.front().req;
+    const Time delta(rq.delta);
+    std::string conclusion;
+    std::string report;
+    if (rq.output.empty()) {
+      counter("serve.checks").inc();
+      resident->stats().checks.fetch_add(1, std::memory_order_relaxed);
+      sched::CheckScheduler& s = resident->scheduler();
+      s.token().arm_deadline(expiry);
+      v.set_deadline_ns(expiry);
+      const SuiteReport rep = s.check_circuit(delta);
+      s.token().arm_deadline(0);
+      v.set_deadline_ns(0);
+      conclusion = to_string(rep.conclusion);
+      report = canonical_json(c, rep);
+    } else {
+      const auto net = c.find_net(rq.output);
+      if (!net) {
+        for (const Pending& p : run) {
+          counter("serve.errors").inc();
+          send(p.conn,
+               error_response(p.req.id, Op::kCheck, "unknown_output",
+                              "circuit \"" + p.req.circuit +
+                                  "\" has no net \"" + rq.output + "\""));
+        }
+        continue;
+      }
+      counter("serve.checks").inc();
+      resident->stats().checks.fetch_add(1, std::memory_order_relaxed);
+      v.set_deadline_ns(expiry);
+      const CheckReport rep = v.check_output(*net, delta);
+      v.set_deadline_ns(0);
+      conclusion = to_string(rep.conclusion);
+      report = canonical_json(c, rep);
+    }
+
+    const std::uint64_t done_ns = prof::monotonic_ns();
+    for (const Pending& p : run) {
+      const bool expired = p.expiry_ns != 0 && done_ns >= p.expiry_ns;
+      if (expired) counter("serve.deadline_expired").inc();
+      ResponseWriter w = ok_response(p.req.id, Op::kCheck);
+      w.field("circuit", p.req.circuit);
+      w.field("delta", p.req.delta);
+      if (!p.req.output.empty()) w.field("output", p.req.output);
+      w.field("conclusion", conclusion);
+      w.field("deadline_expired", expired);
+      // "report" is deliberately last: its raw bytes run to the final
+      // closing brace, so clients can slice them out for byte comparison
+      // against `waveck check --json --canon`.
+      w.raw("report", report);
+      send(p.conn, std::move(w).done());
+    }
+  }
+}
+
+void Server::run_stall(const Pending& p) {
+  // Deliberately wedge: occupy the worker without advancing any progress
+  // tick, so the supervisor's watchdog has something real to detect.
+  if (prof::heartbeat_enabled()) {
+    prof::ActivityBoard::begin_check("debug_stall", -1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(p.req.stall_ms));
+  if (prof::heartbeat_enabled()) {
+    prof::ActivityBoard::end_check();
+  }
+  ResponseWriter w = ok_response(p.req.id, Op::kDebugStall);
+  w.field("stalled_ms", p.req.stall_ms);
+  send(p.conn, std::move(w).done());
+}
+
+void Server::send(const std::shared_ptr<Connection>& conn,
+                  const std::string& line) {
+  counter("serve.responses").inc();
+  conn->write_line(line);
+}
+
+std::string Server::list_response(const std::string& id) {
+  const std::vector<ResidentInfo> infos = registry_.list();
+  std::string arr = "[";
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const ResidentInfo& info = infos[i];
+    if (i > 0) arr += ",";
+    arr += "{\"name\":\"" + telemetry::json_escape(info.name) +
+           "\",\"hash\":\"" + info.hash +
+           "\",\"nets\":" + std::to_string(info.nets) +
+           ",\"gates\":" + std::to_string(info.gates) +
+           ",\"inputs\":" + std::to_string(info.inputs) +
+           ",\"outputs\":" + std::to_string(info.outputs) +
+           ",\"checks\":" + std::to_string(info.checks) + "}";
+  }
+  arr += "]";
+  ResponseWriter w = ok_response(id, Op::kList);
+  w.field("resident", static_cast<std::uint64_t>(infos.size()));
+  w.raw("circuits", arr);
+  return std::move(w).done();
+}
+
+std::string Server::stats_response(const std::string& id) {
+  auto& reg = telemetry::Registry::global();
+  ResponseWriter w = ok_response(id, Op::kStats);
+  w.field("resident", static_cast<std::uint64_t>(registry_.size()));
+  static constexpr const char* kKeys[] = {
+      "serve.requests",       "serve.responses",
+      "serve.errors",         "serve.overloaded",
+      "serve.deadline_expired", "serve.checks",
+      "serve.batches",        "serve.batch.coalesced",
+      "serve.batch.deduped",  "serve.loads",
+      "serve.unloads",        "serve.prepare.runs",
+  };
+  for (const char* key : kKeys) {
+    // "serve.requests" -> field name "requests" etc.
+    w.field(key + 6, reg.counter(key).value());
+  }
+  w.field("queue_depth",
+          static_cast<std::int64_t>(reg.gauge("serve.queue_depth").value()));
+  w.field("queue_cap", static_cast<std::uint64_t>(opt_.queue_cap));
+  return std::move(w).done();
+}
+
+void Server::final_stats_line() {
+  auto& reg = telemetry::Registry::global();
+  std::cerr << "waveck-serve: exiting; requests="
+            << reg.counter("serve.requests").value()
+            << " responses=" << reg.counter("serve.responses").value()
+            << " checks=" << reg.counter("serve.checks").value()
+            << " batches=" << reg.counter("serve.batches").value()
+            << " overloaded=" << reg.counter("serve.overloaded").value()
+            << " deadline_expired="
+            << reg.counter("serve.deadline_expired").value()
+            << " errors=" << reg.counter("serve.errors").value()
+            << " resident=" << registry_.size() << "\n";
+}
+
+}  // namespace waveck::serve

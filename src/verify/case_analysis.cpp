@@ -8,6 +8,7 @@
 #include "analysis/head_lines.hpp"
 #include "common/telemetry.hpp"
 #include "prof/heartbeat.hpp"
+#include "prof/perf_counters.hpp"
 #include "sim/floating_sim.hpp"
 
 namespace waveck {
@@ -537,9 +538,19 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
 
   bool consistent = propagate(cs, check, opt.dominators_in_search, cache);
 
+  // One decision boundary's worth of stop conditions: external cancel, the
+  // per-check deadline (also latched by the fixpoint drain via
+  // cs.deadline_hit()), both concluding kAbandoned like budget exhaustion.
+  const auto stop_requested = [&] {
+    if (opt.cancel != nullptr && opt.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (cs.deadline_hit()) return true;
+    return opt.deadline_ns != 0 && prof::monotonic_ns() >= opt.deadline_ns;
+  };
+
   for (;;) {
-    if (opt.cancel != nullptr &&
-        opt.cancel->load(std::memory_order_relaxed)) {
+    if (stop_requested()) {
       cs.pop_to(entry);
       close_open_decisions("abandoned");
       out.result = CaseResult::kAbandoned;

@@ -51,6 +51,11 @@ struct CaseAnalysisOptions {
   /// exactly as if the backtrack budget had been exhausted. Polled with a
   /// relaxed load once per search-loop iteration.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute monotonic deadline (prof::monotonic_ns clock; 0 = none).
+  /// Checked alongside `cancel` at every decision boundary — and, through
+  /// ConstraintSystem::set_deadline_ns, inside each propagation drain — so
+  /// expiry mid-search returns kAbandoned within microseconds.
+  std::uint64_t deadline_ns = 0;
 };
 
 enum class CaseResult : std::uint8_t {

@@ -173,14 +173,43 @@ void check_body(Json& j, const Circuit& c, const CheckReport& rep) {
 
 }  // namespace
 
-std::string to_json(const Circuit& c, const CheckReport& rep) {
+std::string to_json(const Circuit& c, const CheckReport& rep,
+                    bool include_metrics) {
   Json j;
   j.begin();
   j.key("circuit").value(c.name());
   check_body(j, c, rep);
-  j.key("metrics").raw_value(telemetry::Registry::global().to_json());
+  if (include_metrics) {
+    j.key("metrics").raw_value(telemetry::Registry::global().to_json());
+  }
   j.end();
   return j.str();
+}
+
+namespace {
+
+/// The determinism contract (doc/PARALLELISM.md) covers everything except
+/// timing: wall-clock fields go to zero and the perf block (which always
+/// carries wall_ns) is dropped entirely.
+void strip_timing(CheckReport& rep) {
+  rep.seconds = 0.0;
+  rep.stage_seconds = StageSeconds{};
+  rep.stage_perf = StagePerf{};
+}
+
+}  // namespace
+
+std::string canonical_json(const Circuit& c, CheckReport rep) {
+  strip_timing(rep);
+  return to_json(c, rep, /*include_metrics=*/false);
+}
+
+std::string canonical_json(const Circuit& c, SuiteReport rep) {
+  rep.seconds = 0.0;
+  rep.stage_seconds = StageSeconds{};
+  rep.stage_perf = StagePerf{};
+  for (auto& out : rep.per_output) strip_timing(out);
+  return to_json(c, rep, /*include_metrics=*/false);
 }
 
 std::string to_json(const Circuit& c, const SuiteReport& rep,

@@ -13,7 +13,10 @@
 namespace waveck {
 
 /// JSON for a single-output check (stages, conclusion, vector, timing).
-[[nodiscard]] std::string to_json(const Circuit& c, const CheckReport& rep);
+/// `include_metrics` controls the trailing process-wide registry snapshot
+/// (global state, not a property of the check).
+[[nodiscard]] std::string to_json(const Circuit& c, const CheckReport& rep,
+                                  bool include_metrics = true);
 
 /// JSON for a circuit-level check. `include_metrics` controls the trailing
 /// process-wide registry snapshot; the scheduler determinism tests disable
@@ -21,6 +24,14 @@ namespace waveck {
 /// global state, not a property of the suite).
 [[nodiscard]] std::string to_json(const Circuit& c, const SuiteReport& rep,
                                   bool include_metrics = true);
+
+/// Canonical (byte-comparable) report JSON: the determinism-contract view
+/// with every wall-clock field zeroed, the hardware-counter block dropped,
+/// and no registry snapshot. Two runs of the same check on the same netlist
+/// yield identical bytes across processes and thread counts; the serve
+/// daemon embeds exactly this form and `waveck check --canon` prints it.
+[[nodiscard]] std::string canonical_json(const Circuit& c, CheckReport rep);
+[[nodiscard]] std::string canonical_json(const Circuit& c, SuiteReport rep);
 
 /// JSON for the exact-delay search result.
 [[nodiscard]] std::string to_json(const Circuit& c,

@@ -54,6 +54,10 @@ void Verifier::set_cancel_flag(const std::atomic<bool>* flag) {
   opt_.case_analysis.cancel = flag;
 }
 
+void Verifier::set_deadline_ns(std::uint64_t expiry_mono_ns) {
+  opt_.deadline_ns = expiry_mono_ns;
+}
+
 const LearningResult& Verifier::learning() {
   if (!learning_) {
     learning_ = opt_.use_learning ? learn_implications(c_, opt_.learning)
@@ -237,6 +241,15 @@ CheckReport Verifier::run_check_stages(
   };
 
   ConstraintSystem cs(c);
+  cs.set_deadline_ns(opt_.deadline_ns);
+  // True once the check's deadline has passed: either the fixpoint drain
+  // latched it mid-drain, or the wall clock moved past it between stages.
+  // Every stage boundary below funnels through this — an expired check
+  // concludes kAbandoned with whatever stage statuses it honestly earned.
+  const auto deadline_expired = [&] {
+    if (opt_.deadline_ns == 0) return false;
+    return cs.deadline_hit() || prof::monotonic_ns() >= opt_.deadline_ns;
+  };
   if (opt_.use_learning) {
     open_stage("learning");
     const LearningResult& lr = learning();  // lazily computed once
@@ -274,6 +287,10 @@ CheckReport Verifier::run_check_stages(
     rep.conclusion = CheckConclusion::kNoViolation;
     return rep;
   }
+  if (deadline_expired()) {
+    rep.conclusion = CheckConclusion::kAbandoned;
+    return rep;
+  }
 
   // Stage 1.5 (extension, reference [1]): correlated delay narrowing.
   if (mutable_c != nullptr) {
@@ -306,6 +323,7 @@ CheckReport Verifier::run_check_stages(
     auto& ctr_rounds = reg.counter("gitd.rounds");
     rep.after_gitd = StageStatus::kPossible;
     for (;;) {
+      if (deadline_expired()) break;
       ctr_rounds.inc();
       const std::size_t narrowed =
           apply_dominator_implications(cs, rep.check, cache);
@@ -324,6 +342,10 @@ CheckReport Verifier::run_check_stages(
       rep.conclusion = CheckConclusion::kNoViolation;
       return rep;
     }
+    if (deadline_expired()) {
+      rep.conclusion = CheckConclusion::kAbandoned;
+      return rep;
+    }
   }
 
   // Stage 3: stem correlation.
@@ -336,6 +358,7 @@ CheckReport Verifier::run_check_stages(
         (opt_.use_dominators &&
          [&] {  // re-run the dominator loop on the correlated domains
            for (;;) {
+             if (deadline_expired()) return false;
              if (apply_dominator_implications(cs, rep.check, cache) == 0)
                return false;
              if (cs.reach_fixpoint() ==
@@ -351,6 +374,10 @@ CheckReport Verifier::run_check_stages(
       return rep;
     }
     rep.after_stem = StageStatus::kPossible;
+    if (deadline_expired()) {
+      rep.conclusion = CheckConclusion::kAbandoned;
+      return rep;
+    }
   }
 
   // Stage 4: case analysis.
@@ -361,8 +388,9 @@ CheckReport Verifier::run_check_stages(
   const Scoap* sc =
       opt_.case_analysis.use_scoap ? &scoap() : nullptr;
   open_stage("case_analysis");
-  const auto outcome =
-      run_case_analysis(cs, rep.check, sc, opt_.case_analysis, cache);
+  CaseAnalysisOptions ca_opt = opt_.case_analysis;
+  ca_opt.deadline_ns = opt_.deadline_ns;
+  const auto outcome = run_case_analysis(cs, rep.check, sc, ca_opt, cache);
   switch (outcome.result) {
     case CaseResult::kViolation:
       rep.conclusion = CheckConclusion::kViolation;

@@ -48,6 +48,12 @@ struct VerifyOptions {
   /// property enforces this); off switches every stage to the
   /// from-scratch functions.
   bool use_carrier_cache = true;
+  /// Absolute monotonic deadline for each check (prof::monotonic_ns clock;
+  /// 0 = none). Threaded into the fixpoint drain and the FAN decision loop;
+  /// a check that outlives it concludes kAbandoned (never a wrong verdict —
+  /// expiry only ever abandons). `waveck check --timeout-ms N` and the
+  /// serve daemon's per-request deadlines both arrive here.
+  std::uint64_t deadline_ns = 0;
   CaseAnalysisOptions case_analysis;
   LearningOptions learning;
 };
@@ -255,6 +261,11 @@ class Verifier {
   /// flip while checks are running on other threads unless that is the
   /// point (the flag itself is an atomic).
   void set_cancel_flag(const std::atomic<bool>* flag);
+
+  /// Re-arms (or, with 0, clears) the per-check deadline for subsequent
+  /// checks — the serve daemon's per-request path on a resident verifier.
+  /// Only call between checks, never while checks run on other threads.
+  void set_deadline_ns(std::uint64_t expiry_mono_ns);
 
   [[nodiscard]] const Circuit& circuit() const { return c_; }
   [[nodiscard]] const VerifyOptions& options() const { return opt_; }

@@ -24,17 +24,8 @@ using sched::ScheduleOptions;
 
 constexpr std::size_t kJobCounts[] = {1, 2, 8};
 
-/// Serializes a suite with every wall-clock field zeroed and the global
-/// metrics snapshot excluded, leaving only deterministic content.
-std::string canonical_json(const Circuit& c, SuiteReport rep) {
-  rep.seconds = 0.0;
-  rep.stage_seconds = StageSeconds{};
-  for (auto& out : rep.per_output) {
-    out.seconds = 0.0;
-    out.stage_seconds = StageSeconds{};
-  }
-  return to_json(c, rep, /*include_metrics=*/false);
-}
+// canonical_json (verify/report_io.hpp) zeroes every wall-clock field and
+// drops the global metrics snapshot, leaving only deterministic content.
 
 void expect_parallel_matches_serial(const Circuit& c, VerifyOptions opt,
                                     Time delta, const char* label) {

@@ -30,6 +30,8 @@
 #include "netlist/transforms.hpp"
 #include "netlist/verilog_io.hpp"
 #include "sched/check_scheduler.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/floating_sim.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/transition_sim.hpp"
@@ -59,7 +61,7 @@ struct CommandSpec {
 
 constexpr CommandSpec kCommands[] = {
     {"sta", "FILE [DELAYS]", "topological timing report"},
-    {"check", "FILE DELTA [OUT] [DELAYS] [--json]",
+    {"check", "FILE DELTA [OUT] [DELAYS] [--json] [--canon] [--timeout-ms N]",
      "can a transition occur at/after DELTA?"},
     {"delay", "FILE [DELAYS]", "exact floating-mode delay + witness"},
     {"outputs", "FILE [DELAYS]", "per-output pessimism table"},
@@ -75,6 +77,10 @@ constexpr CommandSpec kCommands[] = {
      "differential fuzzing vs the exhaustive oracle (see waveck_fuzz)"},
     {"explain", "TRACE.jsonl [--json] ...",
      "analyze a --trace capture: search trees, chrome/DOT export"},
+    {"serve", "[--socket PATH] [--tcp PORT] ...",
+     "long-lived check daemon: JSONL requests over a socket (doc/SERVE.md)"},
+    {"client", "[--socket PATH|--tcp PORT] CMD ...",
+     "send requests to a running daemon (check/load/list/... or raw JSONL)"},
 };
 
 int usage() {
@@ -139,9 +145,16 @@ int cmd_sta(const Circuit& c) {
 }
 
 int cmd_check(const Circuit& c, const std::string& delta_str,
-              const std::string& out_name, bool json) {
+              const std::string& out_name, bool json, bool canon,
+              std::uint64_t timeout_ms) {
   const Time delta(std::stoll(delta_str));
+  // --timeout-ms N: absolute deadline on the monotonic clock; checks that
+  // outlive it conclude kAbandoned (exit code 0: no violation *proven*).
+  const std::uint64_t deadline =
+      timeout_ms == 0 ? 0
+                      : prof::monotonic_ns() + timeout_ms * 1'000'000ull;
   Verifier v(c);
+  v.set_deadline_ns(deadline);
   if (!out_name.empty()) {
     const auto net = c.find_net(out_name);
     if (!net) {
@@ -150,7 +163,7 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
     }
     const auto rep = v.check_output(*net, delta);
     if (json) {
-      std::cout << to_json(c, rep) << "\n";
+      std::cout << (canon ? canonical_json(c, rep) : to_json(c, rep)) << "\n";
       return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
     }
     std::cout << "check (" << out_name << ", " << delta
@@ -165,9 +178,12 @@ int cmd_check(const Circuit& c, const std::string& delta_str,
     return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
   }
   sched::CheckScheduler s(v, {.jobs = g_jobs});
+  s.token().arm_deadline(deadline);
   const auto rep = s.check_circuit(delta);
   if (json) {
-    std::cout << to_json(c, rep, /*include_metrics=*/true) << "\n";
+    std::cout << (canon ? canonical_json(c, rep)
+                        : to_json(c, rep, /*include_metrics=*/true))
+              << "\n";
     return rep.conclusion == CheckConclusion::kViolation ? 1 : 0;
   }
   std::cout << "check (all outputs, " << delta
@@ -386,6 +402,208 @@ int cmd_trans(const Circuit& c, const std::string& s1,
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServeOptions opt;
+  opt.jobs = g_jobs == 0 ? 1 : g_jobs;  // daemon default: serial worker
+  opt.handle_signals = true;
+  const auto need_value = [&](std::size_t i, const char* flag) {
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " needs a value\n";
+      return false;
+    }
+    return true;
+  };
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--socket") {
+        if (!need_value(i, "--socket")) return 2;
+        opt.socket_path = args[++i];
+      } else if (a == "--tcp") {
+        if (!need_value(i, "--tcp")) return 2;
+        const int port = std::stoi(args[++i]);
+        opt.tcp_port = port == 0 ? -1 : port;  // 0 = ephemeral
+      } else if (a == "--queue-cap") {
+        if (!need_value(i, "--queue-cap")) return 2;
+        opt.queue_cap = std::stoull(args[++i]);
+      } else if (a == "--timeout-ms") {
+        if (!need_value(i, "--timeout-ms")) return 2;
+        opt.default_timeout_ms = std::stoull(args[++i]);
+      } else if (a == "--max-batch") {
+        if (!need_value(i, "--max-batch")) return 2;
+        opt.max_batch = std::max<std::size_t>(1, std::stoull(args[++i]));
+      } else if (a == "--heartbeat") {
+        if (!need_value(i, "--heartbeat")) return 2;
+        opt.heartbeat_s = std::stod(args[++i]);
+      } else if (a == "--stall-s") {
+        if (!need_value(i, "--stall-s")) return 2;
+        opt.stall_s = std::stod(args[++i]);
+      } else if (a == "--enable-debug-ops") {
+        opt.enable_debug_ops = true;
+      } else {
+        std::cerr << "error: unknown serve flag " << a << "\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception&) {
+    std::cerr << "error: serve flag needs a numeric value\n";
+    return 2;
+  }
+  serve::Server server(opt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+  std::cerr << "waveck-serve: listening";
+  if (!opt.socket_path.empty()) std::cerr << " on " << opt.socket_path;
+  if (server.tcp_port() > 0) {
+    std::cerr << (opt.socket_path.empty() ? " on" : " and")
+              << " tcp 127.0.0.1:" << server.tcp_port();
+  }
+  std::cerr << " (queue cap " << opt.queue_cap << ", jobs " << opt.jobs
+            << ")\n";
+  server.run();
+  return 0;
+}
+
+/// JSON string literal for client-built requests.
+std::string jstr(const std::string& s) {
+  return "\"" + telemetry::json_escape(s) + "\"";
+}
+
+/// Builds the request line for the `client` sugar commands; "" = usage
+/// error. `timeout_ms < 0` means "not set".
+std::string client_request(const std::vector<std::string>& cmd,
+                           std::int64_t timeout_ms) {
+  const std::string& op = cmd[0];
+  if (op == "ping" || op == "list" || op == "stats" || op == "shutdown") {
+    return "{\"op\":" + jstr(op) + "}";
+  }
+  if (op == "load" && cmd.size() >= 3) {
+    // Resolve the netlist path client-side: the daemon reads it from ITS
+    // working directory otherwise.
+    std::string file = cmd[2];
+    if (char* rp = ::realpath(file.c_str(), nullptr)) {
+      file = rp;
+      std::free(rp);
+    }
+    std::string line = "{\"op\":\"load\",\"name\":" + jstr(cmd[1]) +
+                       ",\"file\":" + jstr(file);
+    if (cmd.size() > 3) line += ",\"delays\":" + jstr(cmd[3]);
+    return line + "}";
+  }
+  if (op == "unload" && cmd.size() >= 2) {
+    return "{\"op\":\"unload\",\"name\":" + jstr(cmd[1]) + "}";
+  }
+  if (op == "check" && cmd.size() >= 3) {
+    std::string line = "{\"op\":\"check\",\"circuit\":" + jstr(cmd[1]) +
+                       ",\"delta\":" + cmd[2];
+    if (cmd.size() > 3) line += ",\"output\":" + jstr(cmd[3]);
+    if (timeout_ms >= 0) {
+      line += ",\"timeout_ms\":" + std::to_string(timeout_ms);
+    }
+    return line + "}";
+  }
+  return "";
+}
+
+/// Extracts the raw canonical report bytes from a check response (the
+/// "report" object is the envelope's last key by protocol contract).
+std::string extract_report(const std::string& response) {
+  const std::string key = ",\"report\":";
+  const std::size_t pos = response.rfind(key);
+  if (pos == std::string::npos || response.empty() ||
+      response.back() != '}') {
+    return "";
+  }
+  return response.substr(pos + key.size(),
+                         response.size() - (pos + key.size()) - 1);
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+  std::string socket_path;
+  int tcp_port = 0;
+  bool report_only = false;
+  std::int64_t timeout_ms = -1;
+  std::vector<std::string> cmd;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--socket" && i + 1 < args.size()) {
+        socket_path = args[++i];
+      } else if (a == "--tcp" && i + 1 < args.size()) {
+        tcp_port = std::stoi(args[++i]);
+      } else if (a == "--report") {
+        report_only = true;
+      } else if (a == "--timeout-ms" && i + 1 < args.size()) {
+        timeout_ms = std::stoll(args[++i]);
+      } else {
+        cmd.push_back(a);
+      }
+    }
+  } catch (const std::exception&) {
+    std::cerr << "error: client flag needs a numeric value\n";
+    return 2;
+  }
+  if (socket_path.empty() && tcp_port == 0) {
+    std::cerr << "error: client needs --socket PATH or --tcp PORT\n";
+    return 2;
+  }
+
+  // Request lines: sugar command, raw JSON arguments, or stdin JSONL.
+  std::vector<std::string> lines;
+  if (cmd.empty() || cmd[0] == "-") {
+    for (std::string line; std::getline(std::cin, line);) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  } else if (!cmd[0].empty() && cmd[0][0] == '{') {
+    lines = cmd;  // raw JSONL, one request per argument
+  } else {
+    const std::string line = client_request(cmd, timeout_ms);
+    if (line.empty()) {
+      std::cerr << "usage: waveck client [--socket PATH|--tcp PORT] "
+                   "[--report] [--timeout-ms N]\n"
+                   "  ping | list | stats | shutdown\n"
+                   "  load NAME FILE [DELAYS] | unload NAME\n"
+                   "  check CIRCUIT DELTA [OUT]\n"
+                   "  '{...}' ... | -   (raw JSONL; '-' reads stdin)\n";
+      return 2;
+    }
+    lines.push_back(line);
+  }
+
+  serve::Client client;
+  std::string err;
+  const bool connected = socket_path.empty()
+                             ? client.connect_tcp(tcp_port, &err)
+                             : client.connect_unix(socket_path, &err);
+  if (!connected) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+  bool any_failed = false;
+  for (const std::string& line : lines) {
+    const auto response = client.round_trip(line);
+    if (!response) {
+      std::cerr << "error: connection closed by server\n";
+      return 2;
+    }
+    // The envelope leads with id/op/ok, so the first "ok" is the status.
+    const std::size_t ok_pos = response->find("\"ok\":");
+    const bool ok = ok_pos != std::string::npos &&
+                    response->compare(ok_pos + 5, 4, "true") == 0;
+    if (!ok) any_failed = true;
+    if (report_only) {
+      const std::string report = extract_report(*response);
+      std::cout << (report.empty() ? *response : report) << "\n";
+    } else {
+      std::cout << *response << "\n";
+    }
+  }
+  return any_failed ? 1 : 0;
+}
+
 int cmd_gen(const std::string& name, bool verilog) {
   Circuit c;
   if (name == "hrapcenko") {
@@ -426,6 +644,12 @@ int dispatch(const std::vector<std::string>& args) {
     return explain::explain_cli_main({args.begin() + 1, args.end()},
                                      std::cout, std::cerr);
   }
+  if (args[0] == "serve") {
+    return cmd_serve({args.begin() + 1, args.end()});
+  }
+  if (args[0] == "client") {
+    return cmd_client({args.begin() + 1, args.end()});
+  }
   if (args.size() < 2) return usage();
   const std::string& cmd = args[0];
   const std::string& file = args[1];
@@ -434,19 +658,32 @@ int dispatch(const std::vector<std::string>& args) {
   };
   if (cmd == "sta") return cmd_sta(load(file, arg(2)));
   if (cmd == "check") {
-    // Positionals after FILE: DELTA [OUT] [DELAYS]; --json anywhere.
+    // Positionals after FILE: DELTA [OUT] [DELAYS]; flags anywhere.
+    // --canon implies --json: the canonical report (no timing, no metrics
+    // snapshot) is the byte-comparable form the serve layer also emits.
     std::vector<std::string> pos;
     bool json = false;
+    bool canon = false;
+    std::uint64_t timeout_ms = 0;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--json") {
         json = true;
+      } else if (args[i] == "--canon") {
+        json = canon = true;
+      } else if (args[i] == "--timeout-ms") {
+        if (i + 1 >= args.size()) return usage();
+        try {
+          timeout_ms = std::stoull(args[++i]);
+        } catch (const std::exception&) {
+          return usage();
+        }
       } else {
         pos.push_back(args[i]);
       }
     }
     if (pos.empty()) return usage();
     return cmd_check(load(file, pos.size() > 2 ? pos[2] : ""), pos[0],
-                     pos.size() > 1 ? pos[1] : "", json);
+                     pos.size() > 1 ? pos[1] : "", json, canon, timeout_ms);
   }
   if (cmd == "profile") {
     // Positionals after FILE: [OUT] [DELAYS]; --seconds S anywhere.

@@ -21,12 +21,14 @@ VerifyOptions resident_options() {
 }  // namespace
 
 ResidentCircuit::ResidentCircuit(std::string name, Circuit c,
-                                 std::size_t jobs)
+                                 std::size_t jobs,
+                                 const std::atomic<bool>* cancel_flag)
     : name_(std::move(name)),
       circuit_(std::move(c)),
       verifier_(circuit_, resident_options()),
       scheduler_(verifier_, {.jobs = jobs}) {
   hash_ = content_hash_hex(circuit_);
+  verifier_.set_cancel_flag(cancel_flag);
 }
 
 bool ResidentCircuit::ensure_prepared() {
@@ -54,8 +56,8 @@ LoadOutcome CircuitRegistry::load(const std::string& name, Circuit c) {
     return out;
   }
   LoadOutcome out;
-  out.resident =
-      std::make_shared<ResidentCircuit>(name, std::move(c), jobs_);
+  out.resident = std::make_shared<ResidentCircuit>(name, std::move(c), jobs_,
+                                                   cancel_flag_);
   by_name_.emplace(name, out.resident);
   telemetry::Registry::global().counter("serve.loads").inc();
   return out;

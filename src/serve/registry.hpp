@@ -42,8 +42,13 @@ struct ResidentStats {
 class ResidentCircuit {
  public:
   /// `c` must be finalized. `jobs` is the scheduler fan-out for
-  /// whole-circuit checks (1 = serial inline).
-  ResidentCircuit(std::string name, Circuit c, std::size_t jobs);
+  /// whole-circuit checks (1 = serial inline). `cancel_flag` (may be null)
+  /// is installed as the verifier's cancel flag *before* the entry is
+  /// published in the registry: once another thread can see this circuit
+  /// and run checks on it, nothing mutates the verifier's cancellation
+  /// wiring anymore.
+  ResidentCircuit(std::string name, Circuit c, std::size_t jobs,
+                  const std::atomic<bool>* cancel_flag);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& hash() const { return hash_; }
@@ -87,7 +92,11 @@ struct ResidentInfo {
 
 class CircuitRegistry {
  public:
-  explicit CircuitRegistry(std::size_t jobs) : jobs_(jobs) {}
+  /// `cancel_flag` (may be null) is handed to every ResidentCircuit at
+  /// construction — see the ResidentCircuit constructor contract.
+  explicit CircuitRegistry(std::size_t jobs,
+                           const std::atomic<bool>* cancel_flag = nullptr)
+      : jobs_(jobs), cancel_flag_(cancel_flag) {}
 
   /// Registers `c` under `name` (see LoadOutcome for the collision rules).
   [[nodiscard]] LoadOutcome load(const std::string& name, Circuit c);
@@ -101,6 +110,7 @@ class CircuitRegistry {
 
  private:
   std::size_t jobs_;
+  const std::atomic<bool>* cancel_flag_;
   std::mutex mu_;
   std::unordered_map<std::string, ResidentPtr> by_name_;
 };

@@ -35,6 +35,12 @@ namespace {
 /// the connection is answered with parse_error and closed.
 constexpr std::size_t kMaxLineBytes = 1u << 20;
 
+/// How long one response write may wait for a slow reader to drain the
+/// socket buffer before the connection is declared broken: up to
+/// kMaxWriteStalls polls of kWriteStallPollMs each (~10 s total).
+constexpr int kWriteStallPollMs = 100;
+constexpr int kMaxWriteStalls = 100;
+
 telemetry::Counter& counter(const char* name) {
   return telemetry::Registry::global().counter(name);
 }
@@ -74,19 +80,40 @@ struct Server::Connection {
   std::string inbuf;
   std::mutex write_mu;  // serialises worker/IO writes; guards fd teardown
   bool closed = false;  // IO thread only
+  /// Set (any thread) when a write could not be completed: the outbound
+  /// stream may end mid-line, so nothing more is ever written to it and
+  /// the IO thread reaps the connection instead of serving it further.
+  std::atomic<bool> broken{false};
 
   void write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(write_mu);
-    if (fd < 0) return;
+    if (fd < 0 || broken.load(std::memory_order_relaxed)) return;
     const char* p = line.data();
     std::size_t n = line.size();
+    int stalls = 0;
     while (n > 0) {
       const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+      if (w > 0) {
+        p += w;
+        n -= static_cast<std::size_t>(w);
+        stalls = 0;
+        continue;
+      }
       if (w < 0 && errno == EINTR) continue;
-      if (w <= 0) return;  // peer gone; IO thread reaps on next poll
-      p += w;
-      n -= static_cast<std::size_t>(w);
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // The fd is O_NONBLOCK and the send buffer is full (a report
+        // larger than SO_SNDBUF, or a reader that stopped draining).
+        // Returning here would truncate the JSONL line and corrupt every
+        // later response on this stream, so wait — bounded — for POLLOUT.
+        if (++stalls > kMaxWriteStalls) break;
+        pollfd pfd{fd, POLLOUT, 0};
+        const int rc = ::poll(&pfd, 1, kWriteStallPollMs);
+        if (rc < 0 && errno != EINTR) break;
+        continue;
+      }
+      break;  // peer gone or hard error
     }
+    if (n > 0) broken.store(true, std::memory_order_relaxed);
   }
 
   void close_fd() {
@@ -105,7 +132,10 @@ struct Server::Pending {
 };
 
 Server::Server(ServeOptions opt)
-    : opt_(std::move(opt)), registry_(opt_.jobs == 0 ? 1 : opt_.jobs) {}
+    // Taking &stopping_ before its initializer runs is fine: the registry
+    // only stores the pointer, and no circuit loads before start().
+    : opt_(std::move(opt)),
+      registry_(opt_.jobs == 0 ? 1 : opt_.jobs, &stopping_) {}
 
 Server::~Server() {
   stopping_.store(true, std::memory_order_release);
@@ -141,7 +171,25 @@ bool Server::bind_unix(std::string* err) {
     *err = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  ::unlink(opt_.socket_path.c_str());  // stale socket from a dead server
+  // Never steal a live daemon's socket: probe the path first and only
+  // unlink when nothing answers (ECONNREFUSED = socket file left behind by
+  // a dead server). If the connect succeeds a server is accepting there —
+  // refuse to start rather than silently orphan it.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      ::close(probe);
+      *err = "a live server is already accepting on " + opt_.socket_path +
+             " (use a different --socket, or shut it down first)";
+      return false;
+    }
+    const bool stale = errno == ECONNREFUSED;
+    ::close(probe);
+    if (stale) ::unlink(opt_.socket_path.c_str());
+    // ENOENT: nothing at the path. Anything else: leave the path alone and
+    // let bind() report the conflict.
+  }
   if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
       ::listen(unix_fd_, 64) < 0) {
@@ -266,6 +314,15 @@ void Server::run() {
         handle_readable(conns_[i]);
       }
     }
+    for (const auto& conn : conns_) {
+      // A write marked the stream broken (slow reader or hard send error):
+      // stop serving the connection rather than read more requests whose
+      // responses would land on a corrupted stream.
+      if (!conn->closed && conn->broken.load(std::memory_order_relaxed)) {
+        conn->close_fd();
+        conn->closed = true;
+      }
+    }
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const std::shared_ptr<Connection>& c) {
                                   return c->closed;
@@ -353,7 +410,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       send(conn, stats_response(req.id));
       return;
     case Op::kLoad:
-      handle_load(conn, req);
+      // Loading parses, annotates and decomposes a whole netlist — worker
+      // work. Done inline it would stall accepts, pings and reads for
+      // every client for the duration.
+      enqueue(conn, req);
       return;
     case Op::kUnload: {
       if (!registry_.unload(req.name)) {
@@ -408,12 +468,6 @@ void Server::handle_load(const std::shared_ptr<Connection>& conn,
                        out.existing_hash + ", refusing to rebind to " + hash +
                        " (unload first)"));
     return;
-  }
-  if (!out.already_loaded) {
-    // Fresh entries get the server's shutdown flag as their cancel flag,
-    // so a drain aborts the in-flight search at a decision boundary. Safe
-    // here: no check for this entry can be queued before this response.
-    out.resident->verifier().set_cancel_flag(&stopping_);
   }
   ResponseWriter w = ok_response(req.id, Op::kLoad);
   w.field("name", out.resident->name());
@@ -475,6 +529,11 @@ void Server::worker_loop() {
         // keep their positions).
         for (auto it = queue_.begin();
              it != queue_.end() && batch.size() < opt_.max_batch;) {
+          if (it->req.op == Op::kLoad && it->req.name == batch[0].req.circuit) {
+            // A pending load for this circuit is a reorder barrier: a check
+            // queued behind it must see its effect, not jump the queue.
+            break;
+          }
           if (it->req.op == Op::kCheck &&
               it->req.circuit == batch[0].req.circuit) {
             batch.push_back(std::move(*it));
@@ -506,6 +565,16 @@ void Server::worker_loop() {
 void Server::run_batch(std::vector<Pending> batch) {
   if (batch[0].req.op == Op::kDebugStall) {
     run_stall(batch[0]);
+    return;
+  }
+  if (batch[0].req.op == Op::kLoad) {
+    if (prof::heartbeat_enabled()) {
+      prof::ActivityBoard::begin_check("load", -1);
+    }
+    handle_load(batch[0].conn, batch[0].req);
+    if (prof::heartbeat_enabled()) {
+      prof::ActivityBoard::end_check();
+    }
     return;
   }
   counter("serve.batches").inc();

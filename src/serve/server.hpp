@@ -9,8 +9,10 @@
 //
 // Architecture (doc/SERVE.md):
 //   * IO thread — poll() over the listeners, a self-pipe and every client
-//     connection. Parses JSONL requests; answers control ops (ping, list,
-//     stats, load, unload, shutdown) inline; enqueues check work.
+//     connection. Parses JSONL requests; answers cheap control ops (ping,
+//     list, stats, unload, shutdown) inline; enqueues load and check work
+//     (a netlist load parses and decomposes a whole circuit, so it runs on
+//     the worker — the poll loop stays responsive throughout).
 //   * Bounded queue — admission control. A request that arrives when
 //     `queue_cap` checks are already pending is rejected immediately with
 //     an `overloaded` error: the daemon never buffers unboundedly and a
@@ -48,8 +50,9 @@ class ProgressMonitor;
 namespace waveck::serve {
 
 struct ServeOptions {
-  /// Unix-domain socket path ("" = no UDS listener). An existing socket
-  /// file at the path is replaced.
+  /// Unix-domain socket path ("" = no UDS listener). A stale socket file
+  /// at the path (nothing accepting) is replaced; if a live server answers
+  /// there, start() refuses rather than steal the path.
   std::string socket_path;
   /// TCP listener on loopback (0 = no TCP listener; -1 = ephemeral port,
   /// readable from Server::tcp_port() after start()).
@@ -107,8 +110,6 @@ class Server {
   void handle_readable(const std::shared_ptr<Connection>& conn);
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
-  void handle_load(const std::shared_ptr<Connection>& conn,
-                   const Request& req);
   void enqueue(const std::shared_ptr<Connection>& conn, const Request& req);
   [[nodiscard]] std::string stats_response(const std::string& id);
   [[nodiscard]] std::string list_response(const std::string& id);
@@ -116,6 +117,8 @@ class Server {
   // --- worker thread ------------------------------------------------------
   void worker_loop();
   void run_batch(std::vector<Pending> batch);
+  void handle_load(const std::shared_ptr<Connection>& conn,
+                   const Request& req);
   void run_checks(const ResidentPtr& resident, std::vector<Pending> group);
   void run_stall(const Pending& p);
 
@@ -139,8 +142,10 @@ class Server {
   std::thread worker_;
   std::unique_ptr<prof::ProgressMonitor> monitor_;
 
-  /// Installed as every resident verifier's cancel flag: shutdown aborts
-  /// the in-flight case analysis at its next decision boundary.
+  /// Installed as every resident verifier's cancel flag — at
+  /// ResidentCircuit construction, before the entry is published, so no
+  /// check can race the installation. Shutdown aborts the in-flight case
+  /// analysis at its next decision boundary.
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };

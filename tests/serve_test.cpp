@@ -5,10 +5,13 @@
 // (`overloaded`), queue deadlines (`deadline_expired`), watchdog output on
 // a wedged worker, resident-state reuse, and byte-identity of a served
 // report with the offline canonical JSON.
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -402,6 +405,85 @@ TEST(ServeProtocol, WatchdogReportsStalledWorker) {
   EXPECT_NE(err.find("[waveck watchdog]"), std::string::npos) << err;
   EXPECT_NE(err.find("debug_stall"), std::string::npos) << err;
   EXPECT_NE(err.find("waveck-serve: exiting;"), std::string::npos) << err;
+}
+
+TEST(ServeProtocol, LiveSocketIsNotStolenByASecondServer) {
+  serve::ServeOptions opt;
+  opt.socket_path = unique_path("dup", ".sock");
+  TestServer ts(opt);
+
+  // A second server on the same path must refuse to start, not silently
+  // unlink the live daemon's socket out from under it.
+  serve::ServeOptions opt2;
+  opt2.socket_path = opt.socket_path;
+  serve::Server second(opt2);
+  std::string err;
+  EXPECT_FALSE(second.start(&err));
+  EXPECT_NE(err.find("live server"), std::string::npos) << err;
+
+  // The original daemon is untouched and still reachable at its path.
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"ping"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(ok_of(parse(*r)));
+}
+
+TEST(ServeProtocol, StaleSocketFileIsReplaced) {
+  const std::string path = unique_path("stale", ".sock");
+  {
+    // A dead server's leftovers: the file exists but nothing accepts on it
+    // (bound, never listened, fd closed → probe gets ECONNREFUSED).
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  serve::ServeOptions opt;
+  opt.socket_path = path;
+  TestServer ts(opt);
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"ping"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(ok_of(parse(*r)));
+}
+
+TEST(ServeProtocol, LoadRunsOnTheWorkerNotTheIOThread) {
+  Circuit csa = gen::carry_skip_adder(8, 2);
+  const std::string path = write_temp_bench(csa, "ioload");
+  serve::ServeOptions opt;
+  opt.enable_debug_ops = true;
+  TestServer ts(std::move(opt));
+
+  // Wedge the worker, then queue a load behind the wedge: the IO thread
+  // must keep answering pings while the load waits its turn on the worker.
+  serve::Client loader = ts.client();
+  ASSERT_TRUE(loader.send_line(R"({"id":"s","op":"debug_stall","ms":300})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(loader.send_line(
+      R"({"id":"l","op":"load","name":"io","file":")" + path + R"("})"));
+
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"ping"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(ok_of(parse(*r)));
+
+  std::string line;
+  ASSERT_TRUE(loader.recv_line(&line));
+  EXPECT_EQ(parse(line).str("id"), "s");
+  ASSERT_TRUE(loader.recv_line(&line));
+  explain::TraceEvent ev = parse(line);
+  EXPECT_EQ(ev.str("id"), "l");
+  EXPECT_TRUE(ok_of(ev)) << line;
+
+  // The queued load took effect: the circuit is resident and checkable.
+  r = c.round_trip(R"({"op":"check","circuit":"io","delta":100})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(line_ok(*r)) << *r;
 }
 
 TEST(ServeProtocol, ShutdownDrainsQueuedRequestsAsErrors) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
@@ -135,14 +136,18 @@ inline Table1Row row_from_suite(const std::string& name, Time top,
 inline void write_counter_totals_json(std::ostream& os,
                                       const prof::CounterTotals& t,
                                       bool hw) {
+  // JSON has no nan/inf literal: a rate must never reach the stream
+  // non-finite (the accessors guard zero denominators, but belt-and-braces
+  // here keeps machine parsers safe whatever the counters did).
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
   os << "{\"wall_ns\":" << t.wall_ns;
   if (hw) {
     os << ",\"cycles\":" << t.cycles
        << ",\"instructions\":" << t.instructions
-       << ",\"ipc\":" << t.ipc()
+       << ",\"ipc\":" << finite(t.ipc())
        << ",\"cache_references\":" << t.cache_references
        << ",\"cache_misses\":" << t.cache_misses
-       << ",\"cache_miss_rate\":" << t.cache_miss_rate()
+       << ",\"cache_miss_rate\":" << finite(t.cache_miss_rate())
        << ",\"branch_misses\":" << t.branch_misses;
   }
   os << "}";

@@ -65,7 +65,8 @@ Window delay_window(const ConstraintSystem& cs, const Gate& g) {
     Time max_lmin = Time::neg_inf();
     Time max_max = Time::neg_inf();
     for (NetId in : g.ins) {
-      const LtInterval& wi = cs.domain(in).cls(!c);
+      // domain() returns by value (SoA store): copy, don't bind through cls().
+      const LtInterval wi = cs.domain(in).cls(!c);
       if (wi.is_empty()) return w;  // no feasible combination at all
       max_lmin = Time::max(max_lmin, wi.lmin);
       max_max = Time::max(max_max, wi.max);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "constraints/projection.hpp"
 #include "prof/heartbeat.hpp"
 #include "prof/perf_counters.hpp"
 
@@ -11,9 +10,8 @@ namespace waveck {
 
 ConstraintSystem::ConstraintSystem(const Circuit& circuit)
     : circuit_(circuit),
-      domains_(circuit.num_nets(), AbstractSignal::top()),
+      domains_(circuit.num_nets()),
       gate_level_(circuit.num_gates(), 0),
-      in_queue_(circuit.num_gates(), 0),
       save_epoch_(circuit.num_nets(), 0),
       ctr_fixpoints_(telemetry::Registry::current().counter("engine.fixpoints")),
       ctr_applications_(
@@ -23,6 +21,12 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       ctr_conflicts_(telemetry::Registry::current().counter("engine.conflicts")),
       ctr_gate_evals_(
           telemetry::Registry::current().counter("fixpoint.gate_evals")),
+      ctr_level_sweeps_(
+          telemetry::Registry::current().counter("fixpoint.level_sweeps")),
+      ctr_simd_batches_(
+          telemetry::Registry::current().counter("fixpoint.simd_batches")),
+      ctr_scalar_tail_(
+          telemetry::Registry::current().counter("fixpoint.scalar_tail")),
       ctr_perf_cycles_(
           telemetry::Registry::current().counter("perf.fixpoint.cycles")),
       ctr_perf_instructions_(telemetry::Registry::current().counter(
@@ -48,7 +52,6 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       g_arena_bytes_(
           telemetry::Registry::current().gauge("engine.arena_bytes")) {
   // Longest-path gate levels: level(g) = 1 + max level over driven inputs.
-  std::uint32_t max_lv = 0;
   for (GateId g : circuit.topo_order()) {
     std::uint32_t lv = 0;
     for (NetId in : circuit.gate(g).ins) {
@@ -56,28 +59,29 @@ ConstraintSystem::ConstraintSystem(const Circuit& circuit)
       if (drv.valid()) lv = std::max(lv, gate_level_[drv.index()] + 1);
     }
     gate_level_[g.index()] = lv;
-    max_lv = std::max(max_lv, lv);
   }
-  buckets_.resize(circuit.num_gates() > 0 ? max_lv + 1 : 0);
-  cursor_ = buckets_.size();
+  plan_.build(circuit, gate_level_);
+  slot_queued_.assign(circuit.num_gates());
+  level_count_.assign(plan_.num_levels, 0);
+  cursor_ = plan_.num_levels;
 }
 
 void ConstraintSystem::enable_change_log() {
   if (log_enabled_) return;
   log_enabled_ = true;
-  log_stamp_.assign(circuit_.num_nets(), 0);
+  log_bits_.assign(circuit_.num_nets());
 }
 
 void ConstraintSystem::save_if_needed(NetId n) {
   auto& epoch = save_epoch_[n.index()];
   if (epoch == current_epoch_) return;
-  trail_.push_back({n, domains_[n.index()], epoch});
+  trail_.push_back({n, domains_.get(n), epoch});
   epoch = current_epoch_;
 }
 
 void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
                                      GateId /*source*/) {
-  AbstractSignal& dom = domains_[n.index()];
+  const AbstractSignal dom = domains_.get(n);
   const AbstractSignal nd = dom.intersect(value);
   if (nd == dom) return;
 
@@ -85,7 +89,7 @@ void ConstraintSystem::commit_domain(NetId n, const AbstractSignal& value,
   const bool was_single = dom.single_class();
   const bool was_bottom = dom.is_bottom();
   const Time old_latest = dom.latest();
-  dom = nd;
+  domains_.set(n, nd);
   ++narrowings_;
   ++domain_gen_;
   log_change(n);
@@ -126,10 +130,10 @@ bool ConstraintSystem::restrict_domain(NetId n, const AbstractSignal& with) {
 }
 
 void ConstraintSystem::schedule_gate(GateId g) {
-  if (in_queue_[g.index()] != 0) return;
-  in_queue_[g.index()] = 1;
+  const std::uint32_t slot = plan_.slot_of_gate[g.index()];
+  if (slot_queued_.test_set(slot)) return;
   const std::size_t lv = gate_level_[g.index()];
-  buckets_[lv].push_back(g);
+  ++level_count_[lv];
   ++queue_size_;
   if (lv < cursor_) cursor_ = lv;
   if (lv > touched_hi_) touched_hi_ = lv;
@@ -147,33 +151,67 @@ void ConstraintSystem::schedule_all() {
 
 void ConstraintSystem::clear_queue() {
   if (queue_size_ != 0) {
-    // Invariant: every bucket below cursor_ is already empty, and nothing
+    // Invariant: every level below cursor_ is already empty, and nothing
     // was pushed above touched_hi_ since the last clear.
     for (std::size_t lv = cursor_; lv <= touched_hi_; ++lv) {
-      for (GateId g : buckets_[lv]) in_queue_[g.index()] = 0;
-      buckets_[lv].clear();
+      if (level_count_[lv] != 0) {
+        slot_queued_.clear_range(plan_.level_begin[lv],
+                                 plan_.level_begin[lv + 1]);
+        level_count_[lv] = 0;
+      }
     }
     queue_size_ = 0;
   }
-  cursor_ = buckets_.size();
+  cursor_ = plan_.num_levels;
   touched_hi_ = 0;
 }
 
-void ConstraintSystem::apply_gate(GateId gid) {
-  const Gate& g = circuit_.gate(gid);
-  AbstractSignal out = domains_[g.out.index()];
-  // Local copies: projections see a consistent snapshot; commits re-intersect
-  // so concurrent implication-driven narrowing is never widened back.
-  std::vector<AbstractSignal>& ins = apply_ins_;
-  ins.clear();
-  for (NetId in : g.ins) ins.push_back(domains_[in.index()]);
+bool ConstraintSystem::sweep_level(std::size_t lv,
+                                   std::uint64_t& next_deadline_check,
+                                   std::size_t& peak_queue) {
+  const std::uint32_t sb = plan_.level_begin[lv];
+  const std::uint32_t se = plan_.level_begin[lv + 1];
+  // Snapshot and unqueue the level's scheduled slots before evaluating
+  // anything: commits during the sweep re-queue gates (same level included)
+  // for the *next* sweep. The word scan yields slots in ascending order,
+  // i.e. already grouped by the plan's (kind, type, arity) runs.
+  sweep_slots_.clear();
+  slot_queued_.for_each_set_in_range(sb, se, [&](std::size_t s) {
+    sweep_slots_.push_back(static_cast<std::uint32_t>(s));
+    // Wave width at this drain step (the popped gate included).
+    lh_queue_depth_.observe(queue_size_);
+    if (queue_size_ > peak_queue) peak_queue = queue_size_;
+    --queue_size_;
+  });
+  slot_queued_.clear_range(sb, se);
+  level_count_[lv] = 0;
 
-  const ProjectionDelta delta = project_gate(g.type, g.delay, out, ins);
-  ++applications_;
-  if (delta.out_changed) commit_domain(g.out, out, gid);
-  for (std::size_t i = 0; i < ins.size(); ++i) {
-    if (delta.in_changed(i)) commit_domain(g.ins[i], ins[i], gid);
+  const KernelTable& kt = active_kernel_table();
+  const std::size_t nslots = sweep_slots_.size();
+  std::size_t r = plan_.run_begin_of_level[lv];
+  std::size_t i = 0;
+  while (i < nslots) {
+    while (plan_.runs[r].end <= sweep_slots_[i]) ++r;
+    const KernelRun& run = plan_.runs[r];
+    std::size_t j = i + 1;
+    while (j < nslots && sweep_slots_[j] < run.end) ++j;
+    const std::size_t seg = j - i;
+    if (applications_ >= next_deadline_check) {
+      if (prof::monotonic_ns() >= deadline_ns_) {
+        clear_queue();
+        deadline_hit_ = true;
+        return false;
+      }
+      next_deadline_check = applications_ + kDeadlineStride;
+    }
+    applications_ += seg;
+    kt.fn[static_cast<std::size_t>(run.kind)](domains_, plan_, run,
+                                              sweep_slots_.data() + i, seg,
+                                              *this, kstats_);
+    if (bottom_count_ > 0) return true;  // outer loop clears and concludes
+    i = j;
   }
+  return true;
 }
 
 ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
@@ -198,6 +236,8 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
                                                       10000);
   Status status = Status::kPossibleViolation;
   std::size_t peak_queue = queue_size_;
+  std::uint64_t sweeps = 0;
+  kstats_ = {};
   // Deadline bookkeeping: one clock read every kDeadlineStride gate
   // applications (and one up front, so an already-expired deadline never
   // starts a drain). A hit clears the queue and latches deadline_hit_; the
@@ -205,24 +245,9 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   std::uint64_t next_deadline_check =
       deadline_ns_ != 0 ? applications_ : ~std::uint64_t{0};
   while (queue_size_ > 0) {
-    if (applications_ >= next_deadline_check) {
-      if (prof::monotonic_ns() >= deadline_ns_) {
-        clear_queue();
-        deadline_hit_ = true;
-        break;
-      }
-      next_deadline_check = applications_ + kDeadlineStride;
-    }
-    while (buckets_[cursor_].empty()) ++cursor_;
-    std::vector<GateId>& bucket = buckets_[cursor_];
-    const GateId g = bucket.back();
-    bucket.pop_back();
-    in_queue_[g.index()] = 0;
-    // Wave width at this drain step (the popped gate included).
-    lh_queue_depth_.observe(queue_size_);
-    if (queue_size_ > peak_queue) peak_queue = queue_size_;
-    --queue_size_;
-    apply_gate(g);
+    while (level_count_[cursor_] == 0) ++cursor_;
+    ++sweeps;
+    if (!sweep_level(cursor_, next_deadline_check, peak_queue)) break;
     if (inconsistent()) {
       clear_queue();
       status = Status::kNoViolation;
@@ -237,6 +262,9 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
   ctr_applications_.add(applications_ - apps0);
   ctr_gate_evals_.add(applications_ - apps0);
   ctr_narrowings_.add(narrowings_ - nar0);
+  ctr_level_sweeps_.add(sweeps);
+  ctr_simd_batches_.add(kstats_.simd_batches);
+  ctr_scalar_tail_.add(kstats_.scalar_tail);
   if (perf_on) {
     const prof::CounterDelta d =
         prof::delta_between(perf0, prof::thread_counter_group().read());
@@ -291,9 +319,10 @@ void ConstraintSystem::pop_to(Mark mark) {
   if (trail_.size() > mark) ++domain_gen_;
   while (trail_.size() > mark) {
     TrailEntry& e = trail_.back();
-    AbstractSignal& dom = domains_[e.net.index()];
-    if (dom.is_bottom() && !e.old_value.is_bottom()) --bottom_count_;
-    dom = e.old_value;
+    if (domains_.is_bottom(e.net.index()) && !e.old_value.is_bottom()) {
+      --bottom_count_;
+    }
+    domains_.set(e.net, e.old_value);
     save_epoch_[e.net.index()] = e.old_epoch;
     log_change(e.net);
     trail_.pop_back();

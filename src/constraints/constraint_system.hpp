@@ -1,10 +1,20 @@
 // Event-driven constraint system over abstract signals (paper Section 3.3).
 //
-// One variable per net (domain: AbstractSignal), one relational constraint
-// per gate. `reach_fixpoint` repeatedly applies scheduled gate constraints
-// until no domain narrows -- the greatest fixpoint (Theorem 1). Selective
-// state saving (a trail) supports the backtracking needed by stem
-// correlation and case analysis.
+// One variable per net, one relational constraint per gate. The variable
+// store is data-oriented: four flat int64 bound planes indexed by NetId
+// (SoaDomain) plus bit planes for the in-queue and changed-net flags, so
+// the drain can evaluate a whole topological level as one batched sweep
+// through the level kernels (level_kernel.hpp) — vectorised min/max/
+// saturating-add over 4-wide int64 lanes with a scalar twin. All narrowing
+// still funnels through one commit path (`commit_domain`), which keeps the
+// trail, scheduling, learning and telemetry semantics identical whichever
+// kernel set ran; the greatest fixpoint is order-independent (Theorem 1),
+// so canonical results cannot depend on batching or lane width.
+//
+// `reach_fixpoint` repeatedly applies scheduled gate constraints until no
+// domain narrows -- the greatest fixpoint. Selective state saving (a trail
+// of old plane values) supports the backtracking needed by stem correlation
+// and case analysis.
 //
 // Learned class implications (Section 4, static learning) hook in through
 // an ImplicationTable: whenever a net's domain collapses to a single final
@@ -16,8 +26,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitplane.hpp"
 #include "common/ids.hpp"
 #include "common/telemetry.hpp"
+#include "constraints/level_kernel.hpp"
+#include "constraints/soa_domain.hpp"
 #include "netlist/circuit.hpp"
 #include "waveform/abstract_waveform.hpp"
 
@@ -50,7 +63,7 @@ class ImplicationTable {
   std::size_t size_ = 0;
 };
 
-class ConstraintSystem {
+class ConstraintSystem final : private CommitSink {
  public:
   enum class Status : std::uint8_t {
     kPossibleViolation,  // fixpoint reached with consistent domains
@@ -64,8 +77,17 @@ class ConstraintSystem {
   [[nodiscard]] const Circuit& circuit() const { return circuit_; }
 
   // ----- domains ------------------------------------------------------------
-  [[nodiscard]] const AbstractSignal& domain(NetId n) const {
-    return domains_[n.index()];
+  /// The net's abstract signal, assembled from the SoA planes (by value:
+  /// the planes are the store, there is no per-net object to reference).
+  [[nodiscard]] AbstractSignal domain(NetId n) const {
+    return domains_.get(n);
+  }
+  /// Direct plane view for batch consumers (carrier sweeps, tests).
+  [[nodiscard]] const SoaDomain& soa() const { return domains_; }
+  /// AbstractSignal::has_transition_at_or_after without reassembling the
+  /// signal — the Def. 7 dynamic-carrier test, straight off the planes.
+  [[nodiscard]] bool has_transition_at_or_after(NetId n, Time t) const {
+    return domains_.has_transition_at_or_after(n.index(), t);
   }
   /// Intersects the domain of `n` with `with`, recording the trail entry and
   /// scheduling affected constraints. Returns true if the domain narrowed.
@@ -81,9 +103,9 @@ class ConstraintSystem {
   void schedule_all();
   void clear_queue();
 
-  /// Paper Figure 4 `reach_fixpoint`: drains the event queue. Returns
-  /// kNoViolation iff some domain emptied (Theorem 2 generalised to any
-  /// net).
+  /// Paper Figure 4 `reach_fixpoint`: drains the event queue, one batched
+  /// level sweep at a time. Returns kNoViolation iff some domain emptied
+  /// (Theorem 2 generalised to any net).
   Status reach_fixpoint();
 
   // ----- backtracking ------------------------------------------------------------
@@ -122,9 +144,11 @@ class ConstraintSystem {
   /// log. Requires `enable_change_log()`.
   template <class F>
   void drain_changed_nets(F&& f) {
-    for (NetId n : change_log_) f(n);
+    for (NetId n : change_log_) {
+      log_bits_.reset(n.index());
+      f(n);
+    }
     change_log_.clear();
-    ++drain_gen_;
   }
 
   // ----- deadlines -----------------------------------------------------------
@@ -154,35 +178,50 @@ class ConstraintSystem {
   void save_if_needed(NetId n);
   /// Commits a narrowed value for net `n`: trail, events, learning.
   void commit_domain(NetId n, const AbstractSignal& value, GateId source);
-  void apply_gate(GateId g);
+  /// CommitSink: the kernels' single way of narrowing a net.
+  void kernel_commit(NetId n, const AbstractSignal& value) override {
+    commit_domain(n, value, GateId{});
+  }
+  [[nodiscard]] bool kernel_inconsistent() const override {
+    return bottom_count_ > 0;
+  }
+  /// Evaluates every scheduled gate of `lv` as run-batched kernel calls.
+  /// Returns false when the deadline expired mid-sweep (queue cleared,
+  /// deadline_hit_ latched).
+  bool sweep_level(std::size_t lv, std::uint64_t& next_deadline_check,
+                   std::size_t& peak_queue);
   void log_change(NetId n) {
     if (!log_enabled_) return;
-    auto& stamp = log_stamp_[n.index()];
-    if (stamp == drain_gen_) return;
-    stamp = drain_gen_;
+    if (log_bits_.test_set(n.index())) return;
     change_log_.push_back(n);
   }
 
   const Circuit& circuit_;
-  std::vector<AbstractSignal> domains_;
+  SoaDomain domains_;
 
-  // Topo-level bucket queue. Gates are bucketed by longest-path depth
-  // (every circuit edge goes to a strictly higher level), and the drain
-  // always pops from the lowest non-empty level, so a forward wave
-  // evaluates each gate at most once per level sweep instead of the
-  // re-evaluation churn of chaotic FIFO iteration; backward narrowings
+  // Topo-level queue over plan slots. Gates are bucketed by longest-path
+  // depth (every circuit edge goes to a strictly higher level) and laid out
+  // level-major in the plan's slot order, so "the scheduled gates of the
+  // lowest non-empty level" is a word scan of one bit-plane range and comes
+  // out pre-sorted into the plan's (gate-class, arity) runs. A forward wave
+  // evaluates each gate at most once per level sweep; backward narrowings
   // (projections restricting gate inputs) rewind the cursor. The greatest
   // fixpoint is order-independent (Theorem 1), so only the evaluation
-  // count changes. Buckets below `cursor_` are empty; `touched_hi_` bounds
+  // count changes. Levels below `cursor_` are empty; `touched_hi_` bounds
   // the levels pushed since the last clear, so `clear_queue` is O(touched)
   // rather than O(gates).
   std::vector<std::uint32_t> gate_level_;
-  std::vector<std::vector<GateId>> buckets_;
-  std::vector<std::uint8_t> in_queue_;
+  LevelPlan plan_;
+  BitPlane slot_queued_;
+  std::vector<std::uint32_t> level_count_;
+  std::vector<std::uint32_t> sweep_slots_;  // reused per-sweep scratch
   std::size_t queue_size_ = 0;
   std::size_t cursor_ = 0;
   std::size_t touched_hi_ = 0;
 
+  // Trail entries snapshot the four touched plane values of one net (an
+  // AbstractSignal is exactly that quadruple), so pop_to restores planes
+  // without any per-net object store.
   struct TrailEntry {
     NetId net;
     AbstractSignal old_value;
@@ -200,20 +239,19 @@ class ConstraintSystem {
   std::uint64_t narrowings_ = 0;
 
   // Change log for incremental consumers (see enable_change_log). A net is
-  // pushed at most once per drain window: `log_stamp_[n] == drain_gen_`
-  // marks "already logged", so the log never exceeds num_nets entries no
-  // matter how many narrowings a window sees. Deliberately independent of
-  // the trail's `save_epoch_` stamps — those dedupe per decision level,
-  // not per drain, and would miss a second commit inside one level.
+  // pushed at most once per drain window: its `log_bits_` bit marks
+  // "already logged", so the log never exceeds num_nets entries no matter
+  // how many narrowings a window sees. Deliberately independent of the
+  // trail's `save_epoch_` stamps — those dedupe per decision level, not per
+  // drain, and would miss a second commit inside one level.
   bool log_enabled_ = false;
   std::vector<NetId> change_log_;
-  std::vector<std::uint64_t> log_stamp_;
-  std::uint64_t drain_gen_ = 1;
+  BitPlane log_bits_;
   std::uint64_t domain_gen_ = 0;
 
-  // Reused input-snapshot buffer for apply_gate (hoisted out of the hot
-  // loop; tens of millions of calls per large search).
-  std::vector<AbstractSignal> apply_ins_;
+  // Per-drain batching tallies from the kernels, flushed into the
+  // fixpoint.* counters at reach_fixpoint exit.
+  KernelStats kstats_;
 
   // Registry handles cached at construction: metric updates in the hot
   // paths are plain integer arithmetic, never name lookups. The two
@@ -225,6 +263,9 @@ class ConstraintSystem {
   telemetry::Counter& ctr_narrowings_;
   telemetry::Counter& ctr_conflicts_;
   telemetry::Counter& ctr_gate_evals_;
+  telemetry::Counter& ctr_level_sweeps_;
+  telemetry::Counter& ctr_simd_batches_;
+  telemetry::Counter& ctr_scalar_tail_;
   // Hardware-counter totals for the fixpoint drain (perf observatory):
   // bumped once per reach_fixpoint when prof::counters_enabled(), so the
   // disabled path pays one branch. Cycles/instructions/misses live under
@@ -246,16 +287,17 @@ class ConstraintSystem {
   telemetry::Gauge& g_queue_depth_;
   telemetry::Gauge& g_arena_bytes_;
 
-  /// Bytes held by the principal growable arenas (trail, domains, queue
-  /// bookkeeping, change log). O(1): capacities only, buckets excluded.
+  /// Bytes held by the principal growable arenas (trail, domain planes,
+  /// queue bookkeeping, change log, level plan). O(1): capacities only.
   [[nodiscard]] std::size_t arena_bytes() const {
     return trail_.capacity() * sizeof(TrailEntry) +
-           domains_.capacity() * sizeof(AbstractSignal) +
+           domains_.capacity_bytes() +
            save_epoch_.capacity() * sizeof(std::uint64_t) +
-           in_queue_.capacity() * sizeof(std::uint8_t) +
-           gate_level_.capacity() * sizeof(std::uint32_t) +
+           slot_queued_.capacity_bytes() +
+           (level_count_.capacity() + gate_level_.capacity() +
+            sweep_slots_.capacity()) * sizeof(std::uint32_t) +
            change_log_.capacity() * sizeof(NetId) +
-           log_stamp_.capacity() * sizeof(std::uint64_t);
+           log_bits_.capacity_bytes() + plan_.capacity_bytes();
   }
 };
 

@@ -1,0 +1,66 @@
+// AVX2 instantiation of the level-sweep kernels. This is the only
+// translation unit compiled with -mavx2 (gated by WAVECK_SIMD); it is
+// reached at runtime only after active_kernel_table() checked CPUID, so
+// building it never makes the binary require AVX2.
+//
+// The policy mirrors ScalarOps (level_kernel.cpp) op for op. 64-bit min/max
+// have no single AVX2 instruction; they are cmpgt+blend, exactly the
+// compare the scalar lanes do. blendv works per byte, which is fine because
+// every mask lane is all-ones or all-zero (compare results).
+#include "constraints/level_kernel.hpp"
+
+#ifdef WAVECK_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "constraints/level_kernel_impl.hpp"
+
+namespace waveck::kern {
+
+namespace {
+
+struct Avx2Ops {
+  static constexpr bool kIsSimd = true;
+  using V = __m256i;
+  static V broadcast(std::int64_t x) { return _mm256_set1_epi64x(x); }
+  static V load4(const std::int64_t* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store4(std::int64_t* p, V v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V gather(const std::int64_t* base, const std::uint32_t* idx) {
+    const __m128i vidx =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(idx));
+    return _mm256_i32gather_epi64(reinterpret_cast<const long long*>(base),
+                                  vidx, 8);
+  }
+  static V add(V a, V b) { return _mm256_add_epi64(a, b); }
+  static V sub(V a, V b) { return _mm256_sub_epi64(a, b); }
+  static V min_(V a, V b) {
+    return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+  }
+  static V max_(V a, V b) {
+    return _mm256_blendv_epi8(b, a, _mm256_cmpgt_epi64(a, b));
+  }
+  static V cmpgt(V a, V b) { return _mm256_cmpgt_epi64(a, b); }
+  static V cmpeq(V a, V b) { return _mm256_cmpeq_epi64(a, b); }
+  static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+  static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+  static V not_(V a) {
+    return _mm256_xor_si256(a, _mm256_set1_epi64x(-1));
+  }
+  /// m ? b : a, per lane (mask lanes are compare results).
+  static V blend(V a, V b, V m) { return _mm256_blendv_epi8(a, b, m); }
+};
+
+}  // namespace
+
+const KernelTable& avx2_kernel_table() {
+  static const KernelTable t = make_kernel_table<Avx2Ops>();
+  return t;
+}
+
+}  // namespace waveck::kern
+
+#endif  // WAVECK_HAVE_AVX2

@@ -1,0 +1,357 @@
+// Lane-parallel level-sweep kernels, templated over a 4-lane ops policy.
+//
+// Included by exactly two translation units: level_kernel.cpp instantiates
+// the kernels over ScalarOps (plain int64 lanes, always built) and
+// level_kernel_avx2.cpp over Avx2Ops (compiled with -mavx2 under
+// WAVECK_SIMD). The kernel bodies are shared, so the two sets are
+// *structurally identical*: every blend/min/max/saturating-add happens in
+// the same order with the same operands, and the narrowing they produce is
+// bit-identical. Each kernel is a faithful lane-wise transcript of the
+// matching scalar projection in projection.cpp; the per-input "exclude
+// self" aggregates replace projection.cpp's per-sibling rescans:
+//
+//   others_nc(i)       <=>  (#empty wnc over all inputs) - [wnc_i empty] == 0
+//   sibling_covers(i)  <=>  (#wnc intersecting window) - [wnc_i does] > 0
+//   exists_partner(i)  <=>  (#wc with max >= ctrl_need) - [wc_i does] > 0
+//   forced_ok(i)       <=>  (#forced-controlling blockers) - [i is one] == 0
+//
+// One deliberate deviation from projection.cpp: the scalar backward loop
+// narrows ins[] in place, so input i+1's sibling scan can see input i's
+// fresh value, while the kernels evaluate every input from the same
+// pre-sweep snapshot (Jacobi vs Gauss-Seidel). Both operators are sound and
+// monotone and every change re-schedules the gate, so the drains converge
+// to the same greatest fixpoint (Theorem 1) — only intermediate evaluation
+// counts can differ, never domains.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "constraints/level_kernel.hpp"
+#include "netlist/gate.hpp"
+#include "waveform/soa_encoding.hpp"
+
+namespace waveck::kern {
+
+/// soa::sat_add on 4 lanes: finite lanes shift, sentinel lanes stick.
+template <class Ops>
+[[nodiscard]] inline typename Ops::V sat_add(typename Ops::V v,
+                                             typename Ops::V d) {
+  const typename Ops::V sticky =
+      Ops::or_(Ops::cmpeq(v, Ops::broadcast(soa::kNegInf)),
+               Ops::cmpeq(v, Ops::broadcast(soa::kPosInf)));
+  return Ops::blend(Ops::add(v, d), v, sticky);
+}
+
+/// soa::normalized on 4 lanes: lo > hi collapses to the canonical empty.
+template <class Ops>
+inline void canonicalize(typename Ops::V& lo, typename Ops::V& hi) {
+  const typename Ops::V e = Ops::cmpgt(lo, hi);
+  lo = Ops::blend(lo, Ops::broadcast(soa::kEmptyLo), e);
+  hi = Ops::blend(hi, Ops::broadcast(soa::kEmptyHi), e);
+}
+
+/// Commits (current ∩ already-intersected value) iff the planes would
+/// actually change; bitwise compare is exact because planes are canonical.
+inline void commit_if_changed(const SoaDomain& dom, CommitSink& sink,
+                              std::uint32_t net, soa::RawInterval w0,
+                              soa::RawInterval w1) {
+  if (dom.raw_cls(net, 0) == w0 && dom.raw_cls(net, 1) == w1) return;
+  sink.kernel_commit(NetId{net},
+                     AbstractSignal{soa::from_raw(w0), soa::from_raw(w1)});
+}
+
+/// Exact per-gate fallback shared by both tables; also the tail path for
+/// the lane kernels below (defined in level_kernel.cpp).
+void generic_kernel(const SoaDomain& dom, const LevelPlan& plan,
+                    const KernelRun& run, const std::uint32_t* slots,
+                    std::size_t n, CommitSink& sink, KernelStats& stats);
+
+/// NOT/BUF/DELAY: per class v, out := out ∩ fwd(in), in := in ∩ bwd(out'),
+/// with bwd reading the freshly narrowed output exactly like project_unary.
+///
+/// Only full groups of 4 take the lane path: the branch-free lane algebra
+/// costs the same whether 1 or 4 lanes are live, and search-phase sweeps are
+/// dominated by 1-3 gate segments, so padded short groups would burn ~4x the
+/// work of the per-gate projection. The remainder goes through
+/// generic_kernel instead — the rule depends only on the segment length,
+/// never on Ops, so the scalar and AVX2 tables still execute identical
+/// commit sequences (byte-identical reports either way).
+template <class Ops>
+void unary_kernel(const SoaDomain& dom, const LevelPlan& plan,
+                  const KernelRun& run, const std::uint32_t* slots,
+                  std::size_t n, CommitSink& sink, KernelStats& stats) {
+  using V = typename Ops::V;
+  const bool inv = inversion(run.type);
+  const V embLo = Ops::broadcast(soa::kEmptyLo);
+  const V embHi = Ops::broadcast(soa::kEmptyHi);
+
+  const std::size_t full = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < full; i += 4) {
+    if (Ops::kIsSimd) {
+      ++stats.simd_batches;
+    } else {
+      stats.scalar_tail += 4;
+    }
+    alignas(32) std::uint32_t oidx[4], iidx[4];
+    alignas(32) std::int64_t dmn[4], dmx[4], ndmn[4], ndmx[4];
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::uint32_t s = slots[i + l];
+      oidx[l] = plan.out_net[s];
+      iidx[l] = plan.ins_net[plan.ins_offset[s]];
+      dmn[l] = plan.dmin[s];
+      dmx[l] = plan.dmax[s];
+      ndmn[l] = -dmn[l];
+      ndmx[l] = -dmx[l];
+    }
+    const V vdmin = Ops::load4(dmn), vdmax = Ops::load4(dmx);
+    const V vndmin = Ops::load4(ndmn), vndmax = Ops::load4(ndmx);
+
+    alignas(32) std::int64_t out_lo[2][4], out_hi[2][4];
+    alignas(32) std::int64_t in_lo[2][4], in_hi[2][4];
+    for (int v = 0; v <= 1; ++v) {
+      const int iv = v;
+      const int ov = ((v != 0) != inv) ? 1 : 0;
+      const V ilo = Ops::gather(dom.lo(iv), iidx);
+      const V ihi = Ops::gather(dom.hi(iv), iidx);
+      const V olo = Ops::gather(dom.lo(ov), oidx);
+      const V ohi = Ops::gather(dom.hi(ov), oidx);
+
+      const V iempty = Ops::cmpgt(ilo, ihi);
+      const V flo = Ops::blend(sat_add<Ops>(ilo, vdmin), embLo, iempty);
+      const V fhi = Ops::blend(sat_add<Ops>(ihi, vdmax), embHi, iempty);
+      V nlo = Ops::max_(olo, flo);
+      V nhi = Ops::min_(ohi, fhi);
+      canonicalize<Ops>(nlo, nhi);
+
+      const V nempty = Ops::cmpgt(nlo, nhi);
+      const V blo = Ops::blend(sat_add<Ops>(nlo, vndmax), embLo, nempty);
+      const V bhi = Ops::blend(sat_add<Ops>(nhi, vndmin), embHi, nempty);
+      V xlo = Ops::max_(ilo, blo);
+      V xhi = Ops::min_(ihi, bhi);
+      canonicalize<Ops>(xlo, xhi);
+
+      Ops::store4(out_lo[ov], nlo);
+      Ops::store4(out_hi[ov], nhi);
+      Ops::store4(in_lo[iv], xlo);
+      Ops::store4(in_hi[iv], xhi);
+    }
+    for (std::size_t l = 0; l < 4; ++l) {
+      commit_if_changed(dom, sink, oidx[l], {out_lo[0][l], out_hi[0][l]},
+                        {out_lo[1][l], out_hi[1][l]});
+      commit_if_changed(dom, sink, iidx[l], {in_lo[0][l], in_hi[0][l]},
+                        {in_lo[1][l], in_hi[1][l]});
+      if (sink.kernel_inconsistent()) return;
+    }
+  }
+  if (full < n) {
+    generic_kernel(dom, plan, run, slots + full, n - full, sink, stats);
+  }
+}
+
+/// AND/NAND/OR/NOR up to kMaxControllingArity inputs: project_controlling
+/// as per-gate lane aggregates plus exclude-self corrections (header note).
+/// Full groups of 4 only; the remainder falls to generic_kernel (see the
+/// unary kernel's note — the rule is Ops-independent).
+template <class Ops>
+void controlling_kernel(const SoaDomain& dom, const LevelPlan& plan,
+                        const KernelRun& run, const std::uint32_t* slots,
+                        std::size_t n, CommitSink& sink, KernelStats& stats) {
+  using V = typename Ops::V;
+  const bool c = controlling_value(run.type);
+  const bool inv = inversion(run.type);
+  const int ci = c ? 1 : 0;               // plane of the controlling class
+  const int ni = c ? 0 : 1;               // plane of the non-controlling one
+  const int oc = ((c != inv)) ? 1 : 0;    // output class when some input controls
+  const int onc = ((!c != inv)) ? 1 : 0;  // output class when all settle nc
+  const std::size_t A = run.arity;
+  assert(A >= 1 && A <= kMaxControllingArity);
+
+  const V embLo = Ops::broadcast(soa::kEmptyLo);
+  const V embHi = Ops::broadcast(soa::kEmptyHi);
+  const V vneg = Ops::broadcast(soa::kNegInf);
+  const V vpos = Ops::broadcast(soa::kPosInf);
+  const V zero = Ops::broadcast(0);
+
+  const std::size_t full = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < full; i += 4) {
+    if (Ops::kIsSimd) {
+      ++stats.simd_batches;
+    } else {
+      stats.scalar_tail += 4;
+    }
+    alignas(32) std::uint32_t oidx[4];
+    alignas(32) std::uint32_t iidx[kMaxControllingArity][4];
+    alignas(32) std::int64_t dmn[4], dmx[4], ndmn[4], ndmx[4];
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::uint32_t s = slots[i + l];
+      oidx[l] = plan.out_net[s];
+      const std::uint32_t off = plan.ins_offset[s];
+      for (std::size_t k = 0; k < A; ++k) iidx[k][l] = plan.ins_net[off + k];
+      dmn[l] = plan.dmin[s];
+      dmx[l] = plan.dmax[s];
+      ndmn[l] = -dmn[l];
+      ndmx[l] = -dmx[l];
+    }
+    const V vdmin = Ops::load4(dmn), vdmax = Ops::load4(dmx);
+    const V vndmin = Ops::load4(ndmn), vndmax = Ops::load4(ndmx);
+
+    // Gather both class intervals of every input once per group.
+    V cl[kMaxControllingArity], ch[kMaxControllingArity];
+    V nl[kMaxControllingArity], nh[kMaxControllingArity];
+    for (std::size_t k = 0; k < A; ++k) {
+      cl[k] = Ops::gather(dom.lo(ci), iidx[k]);
+      ch[k] = Ops::gather(dom.hi(ci), iidx[k]);
+      nl[k] = Ops::gather(dom.lo(ni), iidx[k]);
+      nh[k] = Ops::gather(dom.hi(ni), iidx[k]);
+    }
+    const V outc_lo = Ops::gather(dom.lo(oc), oidx);
+    const V outc_hi = Ops::gather(dom.hi(oc), oidx);
+    const V outnc_lo = Ops::gather(dom.lo(onc), oidx);
+    const V outnc_hi = Ops::gather(dom.hi(onc), oidx);
+
+    // ---- forward, all-non-controlling result class ----------------------
+    V any_nc_empty = zero, agg_lmin = vneg, agg_max = vneg;
+    for (std::size_t k = 0; k < A; ++k) {
+      any_nc_empty = Ops::or_(any_nc_empty, Ops::cmpgt(nl[k], nh[k]));
+      agg_lmin = Ops::max_(agg_lmin, nl[k]);
+      agg_max = Ops::max_(agg_max, nh[k]);
+    }
+    const V fnc_lo =
+        Ops::blend(sat_add<Ops>(agg_lmin, vdmin), embLo, any_nc_empty);
+    const V fnc_hi =
+        Ops::blend(sat_add<Ops>(agg_max, vdmax), embHi, any_nc_empty);
+    V snc_lo = Ops::max_(outnc_lo, fnc_lo);
+    V snc_hi = Ops::min_(outnc_hi, fnc_hi);
+    canonicalize<Ops>(snc_lo, snc_hi);
+
+    // ---- forward, controlled result class --------------------------------
+    // Dead lanes (some input bottom) accumulate garbage caps; the `live`
+    // mask discards them, mirroring project_controlling's early break.
+    V dead = zero, forced = zero, any_ctrl = zero;
+    V forced_cap = vpos, free_cap = vneg;
+    for (std::size_t k = 0; k < A; ++k) {
+      const V ce = Ops::cmpgt(cl[k], ch[k]);
+      const V ne = Ops::cmpgt(nl[k], nh[k]);
+      dead = Ops::or_(dead, Ops::and_(ce, ne));
+      forced = Ops::or_(forced, ne);
+      forced_cap = Ops::min_(forced_cap, Ops::blend(vpos, ch[k], ne));
+      any_ctrl = Ops::or_(any_ctrl, Ops::not_(ce));
+      free_cap = Ops::max_(free_cap, Ops::blend(vneg, ch[k], Ops::not_(ce)));
+    }
+    const V cap = Ops::blend(free_cap, forced_cap, forced);
+    const V live = Ops::and_(any_ctrl, Ops::not_(dead));
+    const V fc_lo = Ops::blend(embLo, vneg, live);
+    const V fc_hi = Ops::blend(embHi, sat_add<Ops>(cap, vdmax), live);
+    V sc_lo = Ops::max_(outc_lo, fc_lo);
+    V sc_hi = Ops::min_(outc_hi, fc_hi);
+    canonicalize<Ops>(sc_lo, sc_hi);
+
+    // ---- backward aggregates --------------------------------------------
+    const V so_empty = Ops::cmpgt(sc_lo, sc_hi);
+    const V snc_empty = Ops::cmpgt(snc_lo, snc_hi);
+    const V ctrl_need = Ops::blend(sat_add<Ops>(sc_lo, vndmax), vpos, so_empty);
+    const V supc_lo = Ops::blend(ctrl_need, embLo, so_empty);
+    const V supc_hi = Ops::blend(vpos, embHi, so_empty);
+    // JointWindow::window; empty exactly when snc is (shift of non-empty is
+    // non-empty), so `cover` below is implicitly false on empty windows.
+    const V win_lo = Ops::blend(sat_add<Ops>(snc_lo, vndmax), embLo, snc_empty);
+    const V win_hi = Ops::blend(sat_add<Ops>(snc_hi, vndmin), embHi, snc_empty);
+
+    V cnt_nc_empty = zero, cnt_cover = zero, cnt_partner = zero,
+      cnt_blocker = zero;
+    V m_ne[kMaxControllingArity], m_cover[kMaxControllingArity];
+    V m_partner[kMaxControllingArity], m_blocker[kMaxControllingArity];
+    for (std::size_t k = 0; k < A; ++k) {
+      const V ce = Ops::cmpgt(cl[k], ch[k]);
+      const V ne = Ops::cmpgt(nl[k], nh[k]);
+      const V xlo = Ops::max_(nl[k], win_lo);
+      const V xhi = Ops::min_(nh[k], win_hi);
+      const V cover = Ops::not_(Ops::cmpgt(xlo, xhi));
+      const V reaches = Ops::not_(Ops::cmpgt(ctrl_need, ch[k]));
+      const V partner = Ops::and_(Ops::not_(ce), reaches);
+      const V blocker = Ops::and_(ne, Ops::or_(ce, Ops::not_(reaches)));
+      m_ne[k] = ne;
+      m_cover[k] = cover;
+      m_partner[k] = partner;
+      m_blocker[k] = blocker;
+      // Masks are 0/-1, so subtracting counts set lanes.
+      cnt_nc_empty = Ops::sub(cnt_nc_empty, ne);
+      cnt_cover = Ops::sub(cnt_cover, cover);
+      cnt_partner = Ops::sub(cnt_partner, partner);
+      cnt_blocker = Ops::sub(cnt_blocker, blocker);
+    }
+
+    // ---- backward, per input --------------------------------------------
+    alignas(32) std::int64_t newc_lo[kMaxControllingArity][4];
+    alignas(32) std::int64_t newc_hi[kMaxControllingArity][4];
+    alignas(32) std::int64_t newn_lo[kMaxControllingArity][4];
+    alignas(32) std::int64_t newn_hi[kMaxControllingArity][4];
+    for (std::size_t k = 0; k < A; ++k) {
+      V clo = Ops::max_(cl[k], supc_lo);
+      V chi = Ops::min_(ch[k], supc_hi);
+      canonicalize<Ops>(clo, chi);
+
+      // Adding the 0/-1 self-mask back subtracts this input from the count.
+      const V others_nc = Ops::cmpeq(Ops::add(cnt_nc_empty, m_ne[k]), zero);
+      const V sib_covers = Ops::cmpgt(Ops::add(cnt_cover, m_cover[k]), zero);
+      const V validA = Ops::and_(Ops::not_(snc_empty), others_nc);
+      V a_lo = Ops::blend(win_lo, vneg, sib_covers);
+      V a_hi = win_hi;
+      a_lo = Ops::blend(embLo, a_lo, validA);
+      a_hi = Ops::blend(embHi, a_hi, validA);
+      const V has_partner =
+          Ops::cmpgt(Ops::add(cnt_partner, m_partner[k]), zero);
+      const V forced_ok = Ops::cmpeq(Ops::add(cnt_blocker, m_blocker[k]), zero);
+      const V topB =
+          Ops::and_(Ops::and_(Ops::not_(so_empty), has_partner), forced_ok);
+      const V sup_lo = Ops::blend(a_lo, vneg, topB);
+      const V sup_hi = Ops::blend(a_hi, vpos, topB);
+      V nlo2 = Ops::max_(nl[k], sup_lo);
+      V nhi2 = Ops::min_(nh[k], sup_hi);
+      canonicalize<Ops>(nlo2, nhi2);
+
+      Ops::store4(newc_lo[k], clo);
+      Ops::store4(newc_hi[k], chi);
+      Ops::store4(newn_lo[k], nlo2);
+      Ops::store4(newn_hi[k], nhi2);
+    }
+
+    alignas(32) std::int64_t osc_lo[4], osc_hi[4], osnc_lo[4], osnc_hi[4];
+    Ops::store4(osc_lo, sc_lo);
+    Ops::store4(osc_hi, sc_hi);
+    Ops::store4(osnc_lo, snc_lo);
+    Ops::store4(osnc_hi, snc_hi);
+
+    for (std::size_t l = 0; l < 4; ++l) {
+      soa::RawInterval ow[2];
+      ow[oc] = {osc_lo[l], osc_hi[l]};
+      ow[onc] = {osnc_lo[l], osnc_hi[l]};
+      commit_if_changed(dom, sink, oidx[l], ow[0], ow[1]);
+      for (std::size_t k = 0; k < A; ++k) {
+        soa::RawInterval iw[2];
+        iw[ci] = {newc_lo[k][l], newc_hi[k][l]};
+        iw[ni] = {newn_lo[k][l], newn_hi[k][l]};
+        commit_if_changed(dom, sink, iidx[k][l], iw[0], iw[1]);
+      }
+      if (sink.kernel_inconsistent()) return;
+    }
+  }
+  if (full < n) {
+    generic_kernel(dom, plan, run, slots + full, n - full, sink, stats);
+  }
+}
+
+template <class Ops>
+[[nodiscard]] KernelTable make_kernel_table() {
+  KernelTable t;
+  t.fn[static_cast<std::size_t>(KernelKind::kUnary)] = &unary_kernel<Ops>;
+  t.fn[static_cast<std::size_t>(KernelKind::kControlling)] =
+      &controlling_kernel<Ops>;
+  t.fn[static_cast<std::size_t>(KernelKind::kGeneric)] = &generic_kernel;
+  return t;
+}
+
+}  // namespace waveck::kern

@@ -1,6 +1,7 @@
 #include "verify/report_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -46,7 +47,10 @@ class Json {
   Json& value(std::size_t v) { return value(static_cast<std::int64_t>(v)); }
   Json& value(double v) {
     sep();
-    os_ << v;
+    // JSON has no nan/inf literal; a non-finite double (e.g. a rate whose
+    // denominator counter read zero) must degrade to 0, never to a token
+    // that breaks machine parsers.
+    os_ << (std::isfinite(v) ? v : 0.0);
     comma_ = true;
     return *this;
   }

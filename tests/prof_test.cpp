@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "../bench/harness.hpp"
 #include "common/telemetry.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas_suite.hpp"
@@ -82,6 +83,25 @@ TEST(CounterTotals, RatiosGuardZeroDivide) {
   t.cache_misses = 25;
   EXPECT_DOUBLE_EQ(t.ipc(), 2.5);
   EXPECT_DOUBLE_EQ(t.cache_miss_rate(), 0.25);
+}
+
+TEST(CounterTotals, JsonNeverCarriesNonFiniteRates) {
+  // Regression: a stage whose hardware group read zero cycles/references
+  // (multiplexed out, or degraded mid-run) must not leak "nan"/"inf"
+  // tokens into machine-parseable JSON (`waveck check --counters`,
+  // bench_table1 rows).
+  prof::CounterTotals t;
+  t.wall_ns = 123;
+  t.instructions = 500;  // ipc denominator (cycles) is zero
+  t.cache_misses = 7;    // miss-rate denominator (references) is zero
+  std::ostringstream os;
+  bench::write_counter_totals_json(os, t, /*hw=*/true);
+  const std::string j = os.str();
+  EXPECT_EQ(j.find("nan"), std::string::npos) << j;
+  EXPECT_EQ(j.find("inf"), std::string::npos) << j;
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find("\"ipc\":0"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"cache_miss_rate\":0"), std::string::npos) << j;
 }
 
 TEST(CounterTotals, AddSkipsEmptyAndAndsValidity) {

@@ -189,7 +189,7 @@ TEST_P(ForwardBoundSoundness, SimWithinDomains) {
     const auto sim = simulate_floating(c, vec);
     for (NetId n : c.all_nets()) {
       const bool val = sim.value[n.index()];
-      const auto& dom = cs.domain(n).cls(val);
+      const auto dom = cs.domain(n).cls(val);
       ASSERT_FALSE(dom.is_empty()) << c.net(n).name;
       ASSERT_GE(dom.max, sim.settle[n.index()])
           << "seed " << cfg.seed << " vec " << bits << " net "

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/flight_recorder.hpp"
+
 namespace waveck {
+
+namespace {
+void flight_cache(std::uint8_t kind_code) {
+  if (flight::enabled()) {
+    flight::record(flight::Kind::kCache, {}, 0, 0, kind_code);
+  }
+}
+}  // namespace
 
 CarrierCache::CarrierCache(ConstraintSystem& cs, const TimingCheck& check)
     : cs_(cs),
@@ -126,6 +136,7 @@ void CarrierCache::sync() {
     if (telemetry::trace_enabled()) {
       telemetry::emit("cache", {{"kind", "miss"}});
     }
+    flight_cache(flight::kCacheMiss);
     return;
   }
   if (synced_gen_ == gen) {
@@ -133,6 +144,7 @@ void CarrierCache::sync() {
     if (telemetry::trace_enabled()) {
       telemetry::emit("cache", {{"kind", "hit"}});
     }
+    flight_cache(flight::kCacheHit);
     return;
   }
   // A domain change matters only if it flips the Def. 7 status under the
@@ -150,12 +162,14 @@ void CarrierCache::sync() {
     if (telemetry::trace_enabled()) {
       telemetry::emit("cache", {{"kind", "hit"}});
     }
+    flight_cache(flight::kCacheHit);
     return;
   }
   ctr_misses_.inc();
   if (telemetry::trace_enabled()) {
     telemetry::emit("cache", {{"kind", "miss"}});
   }
+  flight_cache(flight::kCacheMiss);
   rebuild_cone();
 }
 
@@ -179,6 +193,7 @@ const std::vector<NetId>& CarrierCache::dominators() {
     if (telemetry::trace_enabled()) {
       telemetry::emit("cache", {{"kind", "dom_rebuild"}});
     }
+    flight_cache(flight::kCacheDomRebuild);
   }
   return doms_;
 }

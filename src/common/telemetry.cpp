@@ -92,8 +92,40 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name) {
   return lookup(mu_, histograms_, name);
 }
+TimeHistogram& Registry::time_histogram(std::string_view name) {
+  return lookup(mu_, time_histograms_, name);
+}
 StageTimer& Registry::timer(std::string_view name) {
   return lookup(mu_, timers_, name);
+}
+
+double TimeHistogram::quantile_us(double q) const {
+  std::array<std::uint64_t, kBuckets> b{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    b[i] = bucket(i);
+    total += b[i];
+  }
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (b[i] == 0) continue;
+    const double next = cum + static_cast<double>(b[i]);
+    if (next >= target) {
+      if (i == kBuckets - 1) {
+        return static_cast<double>(kBoundsUs.back());  // overflow bucket
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(kBoundsUs[i - 1]);
+      const double upper = static_cast<double>(kBoundsUs[i]);
+      const double frac = (target - cum) / static_cast<double>(b[i]);
+      return lower + frac * (upper - lower);
+    }
+    cum = next;
+  }
+  return static_cast<double>(kBoundsUs.back());
 }
 
 double Histogram::quantile(double q) const {
@@ -136,6 +168,9 @@ void Registry::merge_from(const Registry& other) {
   }
   for (const auto& [name, h] : other.histograms_) {
     histogram(name).merge_from(h);
+  }
+  for (const auto& [name, h] : other.time_histograms_) {
+    time_histogram(name).merge_from(h);
   }
   for (const auto& [name, t] : other.timers_) {
     timer(name).add(t.calls(), t.total_ns());
@@ -182,7 +217,102 @@ std::string Registry::to_json() const {
        << ",\"p99\":" << fmt_double(h.quantile(0.99)) << "}";
     first = false;
   }
+  os << "},\"time_histograms\":{";
+  first = true;
+  for (const auto& [name, h] : time_histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"count\":" << h.count() << ",\"sum_us\":" << h.sum_us()
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < TimeHistogram::kBuckets; ++i) {
+      os << (i ? "," : "") << h.bucket(i);
+    }
+    os << "],\"p50_us\":" << fmt_double(h.quantile_us(0.50))
+       << ",\"p90_us\":" << fmt_double(h.quantile_us(0.90))
+       << ",\"p99_us\":" << fmt_double(h.quantile_us(0.99)) << "}";
+    first = false;
+  }
   os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric-name mangling: dots and any other non-identifier
+/// character become underscores ("serve.latency.queued_us" under prefix
+/// "waveck" -> "waveck_serve_latency_queued_us").
+std::string prom_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size() + 1);
+  out.append(prefix);
+  out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prom_type(std::ostringstream& os, const std::string& name,
+               const char* type) {
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus(std::string_view prefix) const {
+  const std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(prefix, name) + "_total";
+    prom_type(os, n, "counter");
+    os << n << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(prefix, name);
+    prom_type(os, n, "gauge");
+    os << n << ' ' << g.value() << '\n';
+    prom_type(os, n + "_max", "gauge");
+    os << n << "_max " << g.high_water() << '\n';
+  }
+  for (const auto& [name, t] : timers_) {
+    const std::string n = prom_name(prefix, name);
+    prom_type(os, n + "_seconds_total", "counter");
+    os << n << "_seconds_total " << fmt_double(t.seconds()) << '\n';
+    prom_type(os, n + "_calls_total", "counter");
+    os << n << "_calls_total " << t.calls() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(prefix, name);
+    prom_type(os, n, "histogram");
+    // Pow2 bucket i covers [2^(i-1), 2^i); in integer terms its inclusive
+    // upper bound is 2^i - 1, which is what `le` wants.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+      cum += h.bucket(i);
+      os << n << "_bucket{le=\""
+         << (Histogram::bucket_lower_bound(i + 1) - 1) << "\"} " << cum
+         << '\n';
+    }
+    cum += h.bucket(Histogram::kBuckets - 1);
+    os << n << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    os << n << "_sum " << h.sum() << '\n';
+    os << n << "_count " << h.count() << '\n';
+  }
+  for (const auto& [name, h] : time_histograms_) {
+    const std::string n = prom_name(prefix, name);
+    prom_type(os, n, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < TimeHistogram::kBoundsUs.size(); ++i) {
+      cum += h.bucket(i);
+      os << n << "_bucket{le=\"" << TimeHistogram::kBoundsUs[i] << "\"} "
+         << cum << '\n';
+    }
+    cum += h.bucket(TimeHistogram::kBuckets - 1);
+    os << n << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    os << n << "_sum " << h.sum_us() << '\n';
+    os << n << "_count " << h.count() << '\n';
+  }
   return os.str();
 }
 
@@ -191,6 +321,7 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, h] : time_histograms_) h.reset();
   for (auto& [name, t] : timers_) t.reset();
 }
 

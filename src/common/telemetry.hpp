@@ -160,6 +160,67 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Explicit-boundary time histogram for µs-scale request latencies. The
+/// pow2 Histogram is the right shape for magnitudes spanning many orders,
+/// but its buckets double — useless for telling a 60 µs queue wait from a
+/// 100 µs one. This one uses a fixed SLO-style boundary ladder (50 µs ..
+/// 10 s) chosen to match Prometheus scrape conventions: bucket i counts
+/// observations v <= kBoundsUs[i] (cumulatively rendered as `le` buckets in
+/// the exposition), the last bucket overflows. Same concurrency contract as
+/// Histogram: relaxed atomics, exact totals, torn snapshots possible.
+class TimeHistogram {
+ public:
+  static constexpr std::array<std::uint64_t, 16> kBoundsUs = {
+      50,      100,     250,     500,       1'000,     2'500,
+      5'000,   10'000,  25'000,  50'000,    100'000,   250'000,
+      500'000, 1'000'000, 2'500'000, 10'000'000};
+  static constexpr std::size_t kBuckets = kBoundsUs.size() + 1;
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t us) {
+    for (std::size_t i = 0; i < kBoundsUs.size(); ++i) {
+      if (us <= kBoundsUs[i]) return i;
+    }
+    return kBuckets - 1;
+  }
+
+  void observe_us(std::uint64_t us) {
+    buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  void observe_ns(std::uint64_t ns) { observe_us(ns / 1000); }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_us() const {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Estimated q-quantile in µs by linear interpolation inside the bucket
+  /// the rank lands in (the overflow bucket reports its lower bound).
+  [[nodiscard]] double quantile_us(double q) const;
+  void merge_from(const TimeHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_us_.fetch_add(other.sum_us(), std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_us_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
 /// Single-owner accumulation buffer in front of a shared Histogram: each
 /// observe() is plain (non-atomic) integer arithmetic, and flush() folds
 /// the totals into the histogram with one batch of relaxed RMWs. Loops
@@ -283,6 +344,7 @@ class Registry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name);
+  [[nodiscard]] TimeHistogram& time_histogram(std::string_view name);
   [[nodiscard]] StageTimer& timer(std::string_view name);
 
   /// Adds every metric value of `other` into this registry (gauges add;
@@ -291,6 +353,13 @@ class Registry {
 
   /// Deterministic (name-sorted) JSON snapshot of every metric.
   [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every metric, names
+  /// mangled to `<prefix>_<dotted_path_with_underscores>`: counters become
+  /// `_total` counters, timers a `_seconds_total`/`_calls_total` pair,
+  /// gauges a gauge plus `_max`, and both histogram flavors full Prometheus
+  /// histograms with cumulative `le` buckets (µs values for TimeHistogram).
+  [[nodiscard]] std::string to_prometheus(std::string_view prefix) const;
 
   /// Zeroes every metric value; registrations (and references) survive.
   void reset();
@@ -306,6 +375,7 @@ class Registry {
   Table<Counter> counters_;
   Table<Gauge> gauges_;
   Table<Histogram> histograms_;
+  Table<TimeHistogram> time_histograms_;
   Table<StageTimer> timers_;
 };
 

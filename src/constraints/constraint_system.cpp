@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/flight_recorder.hpp"
 #include "prof/heartbeat.hpp"
 #include "prof/perf_counters.hpp"
 
@@ -297,6 +298,12 @@ ConstraintSystem::Status ConstraintSystem::reach_fixpoint() {
          {"applications", applications_ - apps0},
          {"revisions", narrowings_ - nar0},
          {"status", status == Status::kNoViolation ? "N" : "P"}});
+  }
+  if (flight::enabled()) {
+    flight::record(flight::Kind::kPropagate, {},
+                   static_cast<std::int64_t>(applications_ - apps0),
+                   static_cast<std::int64_t>(narrowings_ - nar0),
+                   status == Status::kNoViolation ? 0 : 1);
   }
   return status;
 }

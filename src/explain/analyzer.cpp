@@ -32,6 +32,14 @@ class Analyzer {
     if (e.t > out_.t_last) out_.t_last = e.t;
     note_worker(static_cast<int>(e.w));
 
+    if (e.ev == "fr_dump") {
+      // Flight-recorder dump header: remember why the rings were flushed so
+      // reports can lead with the incident, not the event soup.
+      out_.dump_reason = e.str("reason");
+      out_.dump_rings = e.num("rings", 0);
+      out_.dump_records = e.num("records", 0);
+      return;
+    }
     if (e.ev == "check_begin") {
       on_check_begin(e);
       return;

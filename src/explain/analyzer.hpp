@@ -135,6 +135,13 @@ struct TraceAnalysis {
   std::int64_t t_first = -1;
   std::int64_t t_last = -1;
 
+  /// Non-empty when the trace is a flight-recorder blackbox dump: the
+  /// `fr_dump` header's trigger ("watchdog_stall", "deadline_expired",
+  /// "fatal_signal", "exit", ...), plus the header's ring/record tallies.
+  std::string dump_reason;
+  std::int64_t dump_rings = 0;
+  std::int64_t dump_records = 0;
+
   /// Structural problems; empty for a well-formed trace. Storage is capped
   /// (`n_warnings` keeps the true count).
   std::vector<std::string> warnings;

@@ -119,7 +119,13 @@ void text_report(const TraceAnalysis& a, const Options& opt,
       << a.workers.size() << " worker(s), " << a.checks.size()
       << " check(s)";
   if (!a.batches.empty()) out << ", " << a.batches.size() << " batch(es)";
-  out << "\n\n";
+  out << "\n";
+  if (!a.dump_reason.empty()) {
+    out << "flight-recorder dump: reason=" << a.dump_reason << ", "
+        << a.dump_rings << " ring(s), " << a.dump_records
+        << " record(s) seen\n";
+  }
+  out << "\n";
 
   // ---- per-check table ----------------------------------------------------
   std::map<std::string, std::size_t> by_conclusion;
@@ -255,8 +261,12 @@ void text_report(const TraceAnalysis& a, const Options& opt,
 
 void json_report(const TraceAnalysis& a, std::ostream& out) {
   out << "{\"events\":" << a.events << ",\"t_span_ns\":"
-      << (a.t_first >= 0 && a.t_last >= a.t_first ? a.t_last - a.t_first : 0)
-      << ",\"workers\":[";
+      << (a.t_first >= 0 && a.t_last >= a.t_first ? a.t_last - a.t_first : 0);
+  if (!a.dump_reason.empty()) {
+    out << ",\"dump_reason\":\"" << telemetry::json_escape(a.dump_reason)
+        << "\"";
+  }
+  out << ",\"workers\":[";
   for (std::size_t i = 0; i < a.workers.size(); ++i) {
     out << (i ? "," : "") << a.workers[i];
   }

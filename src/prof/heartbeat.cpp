@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 #include "prof/perf_counters.hpp"
 
@@ -194,7 +195,12 @@ void ProgressMonitor::run() {
                                   {"queue_hw", queue_hw},
                                   {"active", active}});
 
-    if (ticks != prev_ticks) {
+    // An all-idle board is not a stall: a long-lived daemon with no work in
+    // flight makes no progress by design, and a spurious stall here would
+    // both cry wolf on stderr and burn the blackbox dump cooldown right
+    // before a real wedge. The stall window starts when a worker opens a
+    // check (the board slot goes active) and its ticks stop advancing.
+    if (ticks != prev_ticks || active == 0) {
       last_advance_ns = now;
       stall_reported = false;
     } else if (!stall_reported &&
@@ -227,6 +233,18 @@ void ProgressMonitor::run() {
       *err_ << std::flush;
       telemetry::emit("watchdog_stall",
                       {{"stalled_s", stalled_s}, {"active", dumped}});
+      // Post-mortem evidence: mark the stall in the rings, then flush them
+      // to the blackbox (no-op unless --blackbox armed a directory).
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kMark, "watchdog_stall", 0,
+                       static_cast<std::int64_t>(dumped));
+      }
+      const std::string path = flight::dump_blackbox("watchdog_stall");
+      if (!path.empty()) {
+        *err_ << "[waveck watchdog] flight recorder dumped to " << path
+              << "\n" << std::flush;
+      }
+      if (opt_.on_stall) opt_.on_stall();
     }
     prev_ticks = ticks;
     prev_ns = now;

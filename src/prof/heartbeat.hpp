@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <thread>
 #include <condition_variable>
@@ -75,6 +76,11 @@ struct HeartbeatOptions {
   /// No-progress window before a watchdog snapshot; <= 0 picks
   /// max(30, 6 * interval).
   double stall_s = 0.0;
+  /// Invoked (from the monitor thread) once per stall episode, after the
+  /// stderr snapshot, the "watchdog_stall" trace event, and the automatic
+  /// flight-recorder blackbox dump. The serve daemon hangs its structured
+  /// stats line here.
+  std::function<void()> on_stall;
 };
 
 /// Owns the monitor thread; construction enables heartbeat_enabled() and

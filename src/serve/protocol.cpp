@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/telemetry.hpp"
@@ -55,6 +56,7 @@ const char* to_string(Op op) {
     case Op::kUnload: return "unload";
     case Op::kList: return "list";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
     case Op::kCheck: return "check";
     case Op::kShutdown: return "shutdown";
     case Op::kDebugStall: return "debug_stall";
@@ -86,6 +88,13 @@ ParseResult parse_request(const std::string& line, bool debug_ops_enabled) {
     q.op = Op::kList;
   } else if (op_name == "stats") {
     q.op = Op::kStats;
+  } else if (op_name == "metrics") {
+    q.op = Op::kMetrics;
+    q.format = opt_str(ev, "format");
+    if (!q.format.empty() && q.format != "json" && q.format != "prometheus") {
+      return fail(id, "missing_field",
+                  "metrics \"format\" must be \"json\" or \"prometheus\"");
+    }
   } else if (op_name == "shutdown") {
     q.op = Op::kShutdown;
   } else if (op_name == "load") {
@@ -179,6 +188,16 @@ ResponseWriter& ResponseWriter::field(const char* key, bool v) {
   out_ += ",\"";
   out_ += key;
   out_ += v ? "\":true" : "\":false";
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::field(const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":";
+  out_ += buf;
   return *this;
 }
 

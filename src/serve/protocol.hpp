@@ -37,6 +37,7 @@ enum class Op : std::uint8_t {
   kUnload,
   kList,
   kStats,
+  kMetrics,  // registry snapshot + latency histograms (json or prometheus)
   kCheck,
   kShutdown,
   kDebugStall,  // --enable-debug-ops only: wedge the worker for "ms"
@@ -61,6 +62,9 @@ struct Request {
   std::int64_t delta = 0;
   std::string output;  // "" = whole-circuit suite check
   std::optional<std::uint64_t> timeout_ms;
+
+  // metrics: "" (= "json"), "json", or "prometheus"
+  std::string format;
 
   // debug_stall
   std::uint64_t stall_ms = 0;
@@ -92,6 +96,9 @@ class ResponseWriter {
   ResponseWriter& field(const char* key, std::int64_t v);
   ResponseWriter& field(const char* key, std::uint64_t v);
   ResponseWriter& field(const char* key, bool v);
+  /// Fixed three-decimal rendering (uptime seconds, ratios): doubles on the
+  /// wire stay byte-stable across platforms.
+  ResponseWriter& field(const char* key, double v);
   /// Splices a pre-serialised JSON value (e.g. a canonical report).
   ResponseWriter& raw(const char* key, const std::string& json);
 

@@ -102,6 +102,20 @@ std::vector<ResidentInfo> CircuitRegistry::list() {
   return out;
 }
 
+std::vector<ResidentPtr> CircuitRegistry::snapshot() {
+  std::vector<ResidentPtr> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(by_name_.size());
+    for (const auto& [name, res] : by_name_) out.push_back(res);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ResidentPtr& a, const ResidentPtr& b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
 std::size_t CircuitRegistry::size() {
   std::lock_guard<std::mutex> lock(mu_);
   return by_name_.size();

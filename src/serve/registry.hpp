@@ -25,18 +25,28 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "netlist/circuit.hpp"
 #include "sched/check_scheduler.hpp"
 #include "verify/verifier.hpp"
 
 namespace waveck::serve {
 
-/// Relaxed atomics: the worker thread writes, `list`/`stats` snapshots read
-/// from the IO thread.
+/// Relaxed atomics throughout (the TimeHistograms too): the worker thread
+/// writes, `list`/`stats`/`metrics` snapshots read from the IO thread.
 struct ResidentStats {
-  std::atomic<std::uint64_t> checks{0};   // check requests run to completion
+  std::atomic<std::uint64_t> checks{0};   // engine runs on this circuit
+  std::atomic<std::uint64_t> requests{0};  // check requests answered (fanout)
+  std::atomic<std::uint64_t> deduped{0};   // requests satisfied by a twin run
   std::atomic<std::uint64_t> batches{0};  // worker batches on this circuit
   std::atomic<std::uint64_t> prepare_runs{0};  // stays at 1: state resident
+  /// Request latency split at the queue/engine boundary: `queued_us` is
+  /// enqueue -> worker pickup, `engine_us` is pickup -> response ready. The
+  /// split is the diagnosis: a fat queued tail means admission pressure
+  /// (raise queue_cap / add daemons), a fat engine tail means the checks
+  /// themselves are slow (look at the circuit, not the daemon).
+  telemetry::TimeHistogram queued_us;
+  telemetry::TimeHistogram engine_us;
 };
 
 class ResidentCircuit {
@@ -106,6 +116,10 @@ class CircuitRegistry {
   [[nodiscard]] ResidentPtr get(const std::string& name);
   /// Name-sorted snapshot for the `list` op.
   [[nodiscard]] std::vector<ResidentInfo> list();
+  /// Name-sorted snapshot of the resident entries themselves — the
+  /// stats/metrics ops read per-namespace counters and latency histograms
+  /// directly (all relaxed atomics, safe against the worker).
+  [[nodiscard]] std::vector<ResidentPtr> snapshot();
   [[nodiscard]] std::size_t size();
 
  private:

@@ -12,12 +12,14 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <thread>
 #include <utility>
 
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/content_hash.hpp"
@@ -128,7 +130,8 @@ struct Server::Connection {
 struct Server::Pending {
   std::shared_ptr<Connection> conn;
   Request req;
-  std::uint64_t expiry_ns = 0;  // absolute monotonic deadline; 0 = none
+  std::uint64_t expiry_ns = 0;    // absolute monotonic deadline; 0 = none
+  std::uint64_t enqueued_ns = 0;  // monotonic_ns at admission (latency base)
 };
 
 Server::Server(ServeOptions opt)
@@ -246,12 +249,27 @@ bool Server::start(std::string* err) {
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
   }
+  if (!opt_.blackbox_dir.empty()) {
+    flight::set_blackbox_dir(opt_.blackbox_dir);
+    flight::install_fatal_handlers();
+  }
   if (opt_.heartbeat_s > 0.0) {
     monitor_ = std::make_unique<prof::ProgressMonitor>(
-        prof::HeartbeatOptions{.interval_s = opt_.heartbeat_s,
-                               .stall_s = opt_.stall_s},
+        prof::HeartbeatOptions{
+            .interval_s = opt_.heartbeat_s,
+            .stall_s = opt_.stall_s,
+            // The monitor already dumped the thread snapshot and blackbox;
+            // this appends the daemon-level view in the same structured
+            // shape the exit line uses, so a stalled daemon's last stderr
+            // lines are machine-readable.
+            .on_stall =
+                [this] {
+                  std::cerr << "waveck-serve: stalled " << stats_json()
+                            << "\n" << std::flush;
+                }},
         std::cerr);
   }
+  start_ns_ = prof::monotonic_ns();
   worker_ = std::thread([this] { worker_loop(); });
   started_ = true;
   return true;
@@ -396,6 +414,11 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
   const Request& req = parsed.req;
+  if (flight::enabled()) {
+    flight::record(
+        flight::Kind::kServeRequest, to_string(req.op),
+        telemetry::Registry::global().gauge("serve.queue_depth").value());
+  }
   switch (req.op) {
     case Op::kPing: {
       ResponseWriter w = ok_response(req.id, Op::kPing);
@@ -408,6 +431,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     case Op::kStats:
       send(conn, stats_response(req.id));
+      return;
+    case Op::kMetrics:
+      // Served inline like stats: the IO thread reads only relaxed atomics,
+      // so metrics answer even while the worker is wedged mid-check — the
+      // moment a scrape matters most.
+      send(conn, metrics_response(req.id, req.format));
       return;
     case Op::kLoad:
       // Loading parses, annotates and decomposes a whole netlist — worker
@@ -490,10 +519,11 @@ void Server::enqueue(const std::shared_ptr<Connection>& conn,
   Pending p;
   p.conn = conn;
   p.req = req;
+  p.enqueued_ns = prof::monotonic_ns();
   const std::uint64_t timeout_ms =
       req.timeout_ms ? *req.timeout_ms : opt_.default_timeout_ms;
   if (req.op == Op::kCheck && timeout_ms > 0) {
-    p.expiry_ns = prof::monotonic_ns() + timeout_ms * 1'000'000ull;
+    p.expiry_ns = p.enqueued_ns + timeout_ms * 1'000'000ull;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -503,6 +533,10 @@ void Server::enqueue(const std::shared_ptr<Connection>& conn,
       send(conn, error_response(req.id, req.op, "overloaded",
                                 "check queue full (cap " +
                                     std::to_string(opt_.queue_cap) + ")"));
+      // Shedding load is an incident worth evidence: what filled the queue
+      // is in the rings. Rate-limited inside dump_blackbox, so a rejection
+      // storm writes one dump, not thousands.
+      flight::dump_blackbox("overloaded");
       return;
     }
     queue_.push_back(std::move(p));
@@ -603,18 +637,27 @@ void Server::run_checks(const ResidentPtr& resident,
   std::vector<Pending> live;
   live.reserve(group.size());
   const std::uint64_t now = prof::monotonic_ns();
+  bool queue_expired = false;
   for (Pending& p : group) {
     if (p.expiry_ns != 0 && now >= p.expiry_ns) {
       counter("serve.deadline_expired").inc();
       counter("serve.errors").inc();
       send(p.conn, error_response(p.req.id, Op::kCheck, "deadline_expired",
                                   "deadline passed while queued"));
+      queue_expired = true;
     } else {
       live.push_back(std::move(p));
     }
   }
+  if (queue_expired) {
+    // A request that rotted in the queue means the worker fell behind its
+    // clients; the rings say on what.
+    flight::dump_blackbox("deadline_expired");
+  }
   if (live.empty()) return;
   resident->ensure_prepared();
+  ResidentStats& rstats = resident->stats();
+  auto& reg = telemetry::Registry::global();
 
   // Dedup identical work within the batch: one engine run per distinct
   // (delta, output), fanned out to every requester. First-seen order.
@@ -629,8 +672,14 @@ void Server::run_checks(const ResidentPtr& resident,
       unique_runs.back().push_back(std::move(p));
     } else {
       counter("serve.batch.deduped").inc();
+      rstats.deduped.fetch_add(1, std::memory_order_relaxed);
       unique_runs[it->second].push_back(std::move(p));
     }
+  }
+  if (flight::enabled()) {
+    flight::record(flight::Kind::kServeBatch, resident->name(),
+                   static_cast<std::int64_t>(live.size()),
+                   static_cast<std::int64_t>(unique_runs.size()));
   }
 
   for (std::vector<Pending>& run : unique_runs) {
@@ -647,6 +696,7 @@ void Server::run_checks(const ResidentPtr& resident,
 
     const Request& rq = run.front().req;
     const Time delta(rq.delta);
+    const std::uint64_t run_start_ns = prof::monotonic_ns();
     std::string conclusion;
     std::string report;
     if (rq.output.empty()) {
@@ -682,9 +732,25 @@ void Server::run_checks(const ResidentPtr& resident,
     }
 
     const std::uint64_t done_ns = prof::monotonic_ns();
+    bool run_expired = false;
     for (const Pending& p : run) {
       const bool expired = p.expiry_ns != 0 && done_ns >= p.expiry_ns;
-      if (expired) counter("serve.deadline_expired").inc();
+      if (expired) {
+        counter("serve.deadline_expired").inc();
+        run_expired = true;
+      }
+      // Latency split at the worker-pickup boundary: `now` (batch pickup)
+      // closes the queued leg for every requester; the engine leg is shared
+      // by the whole dedup group — a fanned-out requester waited for the
+      // same run.
+      const std::uint64_t queued_ns = now > p.enqueued_ns
+                                          ? now - p.enqueued_ns : 0;
+      rstats.requests.fetch_add(1, std::memory_order_relaxed);
+      rstats.queued_us.observe_ns(queued_ns);
+      rstats.engine_us.observe_ns(done_ns - run_start_ns);
+      reg.time_histogram("serve.latency.queued_us").observe_ns(queued_ns);
+      reg.time_histogram("serve.latency.engine_us")
+          .observe_ns(done_ns - run_start_ns);
       ResponseWriter w = ok_response(p.req.id, Op::kCheck);
       w.field("circuit", p.req.circuit);
       w.field("delta", p.req.delta);
@@ -697,12 +763,17 @@ void Server::run_checks(const ResidentPtr& resident,
       w.raw("report", report);
       send(p.conn, std::move(w).done());
     }
+    if (run_expired) flight::dump_blackbox("deadline_expired");
   }
 }
 
 void Server::run_stall(const Pending& p) {
   // Deliberately wedge: occupy the worker without advancing any progress
   // tick, so the supervisor's watchdog has something real to detect.
+  if (flight::enabled()) {
+    flight::record(flight::Kind::kMark, "debug_stall",
+                   static_cast<std::int64_t>(p.req.stall_ms));
+  }
   if (prof::heartbeat_enabled()) {
     prof::ActivityBoard::begin_check("debug_stall", -1);
   }
@@ -718,6 +789,22 @@ void Server::run_stall(const Pending& p) {
 void Server::send(const std::shared_ptr<Connection>& conn,
                   const std::string& line) {
   counter("serve.responses").inc();
+  if (flight::enabled()) {
+    // Pull "op" and "ok" back out of the rendered envelope — the fixed key
+    // order makes this two substring finds, not a parse.
+    std::string_view op = "?";
+    const std::size_t k = line.find("\"op\":\"");
+    if (k != std::string::npos) {
+      const std::size_t v = k + 6;
+      const std::size_t e = line.find('"', v);
+      if (e != std::string::npos) {
+        op = std::string_view(line).substr(v, e - v);
+      }
+    }
+    const bool ok = line.find("\"ok\":true") != std::string::npos;
+    flight::record(flight::Kind::kServeResponse, op,
+                   static_cast<std::int64_t>(line.size()), 0, ok ? 1 : 0);
+  }
   conn->write_line(line);
 }
 
@@ -742,40 +829,218 @@ std::string Server::list_response(const std::string& id) {
   return std::move(w).done();
 }
 
+namespace {
+
+/// Counters surfaced by the stats op, the structured exit line and the
+/// stall line; "serve.requests" becomes field "requests" (the +6 below).
+constexpr const char* kStatKeys[] = {
+    "serve.requests",       "serve.responses",
+    "serve.errors",         "serve.overloaded",
+    "serve.deadline_expired", "serve.checks",
+    "serve.batches",        "serve.batch.coalesced",
+    "serve.batch.deduped",  "serve.loads",
+    "serve.unloads",        "serve.prepare.runs",
+};
+
+std::string fmt3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// One TimeHistogram as a JSON object, matching the registry's
+/// "time_histograms" entry shape so explain/tooling parses both the same.
+std::string time_hist_json(const telemetry::TimeHistogram& h) {
+  std::string out = "{\"count\":" + std::to_string(h.count()) +
+                    ",\"sum_us\":" + std::to_string(h.sum_us()) +
+                    ",\"buckets\":[";
+  for (std::size_t i = 0; i < telemetry::TimeHistogram::kBuckets; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(h.bucket(i));
+  }
+  out += "],\"p50_us\":" + fmt3(h.quantile_us(0.50)) +
+         ",\"p90_us\":" + fmt3(h.quantile_us(0.90)) +
+         ",\"p99_us\":" + fmt3(h.quantile_us(0.99)) + "}";
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string prom_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') { out += "\\n"; continue; }
+    out += c;
+  }
+  return out;
+}
+
+/// One TimeHistogram as labeled Prometheus histogram series. The base
+/// `# TYPE` line is emitted once by the caller; labels carry the circuit
+/// namespace and the queued/engine leg.
+void prom_time_hist(std::string& os, const std::string& name,
+                    const std::string& labels,
+                    const telemetry::TimeHistogram& h) {
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < telemetry::TimeHistogram::kBoundsUs.size();
+       ++i) {
+    cum += h.bucket(i);
+    os += name + "_bucket{" + labels + ",le=\"" +
+          std::to_string(telemetry::TimeHistogram::kBoundsUs[i]) + "\"} " +
+          std::to_string(cum) + "\n";
+  }
+  cum += h.bucket(telemetry::TimeHistogram::kBuckets - 1);
+  os += name + "_bucket{" + labels + ",le=\"+Inf\"} " +
+        std::to_string(cum) + "\n";
+  os += name + "_sum{" + labels + "} " + std::to_string(h.sum_us()) + "\n";
+  os += name + "_count{" + labels + "} " + std::to_string(h.count()) + "\n";
+}
+
+}  // namespace
+
+double Server::uptime_s() const {
+  return static_cast<double>(prof::monotonic_ns() - start_ns_) * 1e-9;
+}
+
 std::string Server::stats_response(const std::string& id) {
   auto& reg = telemetry::Registry::global();
   ResponseWriter w = ok_response(id, Op::kStats);
   w.field("resident", static_cast<std::uint64_t>(registry_.size()));
-  static constexpr const char* kKeys[] = {
-      "serve.requests",       "serve.responses",
-      "serve.errors",         "serve.overloaded",
-      "serve.deadline_expired", "serve.checks",
-      "serve.batches",        "serve.batch.coalesced",
-      "serve.batch.deduped",  "serve.loads",
-      "serve.unloads",        "serve.prepare.runs",
-  };
-  for (const char* key : kKeys) {
-    // "serve.requests" -> field name "requests" etc.
+  w.field("uptime_s", uptime_s());
+  for (const char* key : kStatKeys) {
     w.field(key + 6, reg.counter(key).value());
   }
   w.field("queue_depth",
           static_cast<std::int64_t>(reg.gauge("serve.queue_depth").value()));
+  w.field("queue_depth_hw",
+          static_cast<std::int64_t>(
+              reg.gauge("serve.queue_depth").high_water()));
   w.field("queue_cap", static_cast<std::uint64_t>(opt_.queue_cap));
+  // Batching effectiveness as ratios, not just raw counters: avg_batch is
+  // check requests per worker wakeup, dedup_ratio the fraction of batched
+  // requests that rode a twin's engine run.
+  const double batches =
+      static_cast<double>(reg.counter("serve.batches").value());
+  const double coalesced =
+      static_cast<double>(reg.counter("serve.batch.coalesced").value());
+  const double deduped =
+      static_cast<double>(reg.counter("serve.batch.deduped").value());
+  w.field("avg_batch", batches > 0.0 ? (batches + coalesced) / batches : 0.0);
+  w.field("dedup_ratio",
+          batches + coalesced > 0.0 ? deduped / (batches + coalesced) : 0.0);
+  // Resident table: per-namespace request counts and latency quantiles.
+  std::string arr = "[";
+  bool first = true;
+  for (const ResidentPtr& r : registry_.snapshot()) {
+    const ResidentStats& s = r->stats();
+    if (!first) arr += ",";
+    first = false;
+    arr += "{\"name\":\"" + telemetry::json_escape(r->name()) +
+           "\",\"hash\":\"" + r->hash() +
+           "\",\"checks\":" +
+           std::to_string(s.checks.load(std::memory_order_relaxed)) +
+           ",\"requests\":" +
+           std::to_string(s.requests.load(std::memory_order_relaxed)) +
+           ",\"deduped\":" +
+           std::to_string(s.deduped.load(std::memory_order_relaxed)) +
+           ",\"batches\":" +
+           std::to_string(s.batches.load(std::memory_order_relaxed)) +
+           ",\"queued_p50_us\":" + fmt3(s.queued_us.quantile_us(0.50)) +
+           ",\"queued_p99_us\":" + fmt3(s.queued_us.quantile_us(0.99)) +
+           ",\"engine_p50_us\":" + fmt3(s.engine_us.quantile_us(0.50)) +
+           ",\"engine_p99_us\":" + fmt3(s.engine_us.quantile_us(0.99)) + "}";
+  }
+  arr += "]";
+  w.raw("circuits", arr);
   return std::move(w).done();
 }
 
-void Server::final_stats_line() {
+std::string Server::metrics_response(const std::string& id,
+                                     const std::string& format) {
   auto& reg = telemetry::Registry::global();
-  std::cerr << "waveck-serve: exiting; requests="
-            << reg.counter("serve.requests").value()
-            << " responses=" << reg.counter("serve.responses").value()
-            << " checks=" << reg.counter("serve.checks").value()
-            << " batches=" << reg.counter("serve.batches").value()
-            << " overloaded=" << reg.counter("serve.overloaded").value()
-            << " deadline_expired="
-            << reg.counter("serve.deadline_expired").value()
-            << " errors=" << reg.counter("serve.errors").value()
-            << " resident=" << registry_.size() << "\n";
+  const std::vector<ResidentPtr> residents = registry_.snapshot();
+  if (format == "prometheus") {
+    // Full exposition text, shipped as one escaped string field: clients
+    // (`waveck client metrics --format prometheus`, the CI scraper) unwrap
+    // "body" and hand it to a Prometheus parser verbatim.
+    std::string body = reg.to_prometheus("waveck");
+    if (!residents.empty()) {
+      body += "# TYPE waveck_serve_namespace_requests_total counter\n";
+      for (const ResidentPtr& r : residents) {
+        const ResidentStats& s = r->stats();
+        const std::string lbl = "circuit=\"" + prom_label(r->name()) + "\"";
+        body += "waveck_serve_namespace_requests_total{" + lbl + "} " +
+                std::to_string(s.requests.load(std::memory_order_relaxed)) +
+                "\n";
+      }
+      body += "# TYPE waveck_serve_namespace_deduped_total counter\n";
+      for (const ResidentPtr& r : residents) {
+        const ResidentStats& s = r->stats();
+        const std::string lbl = "circuit=\"" + prom_label(r->name()) + "\"";
+        body += "waveck_serve_namespace_deduped_total{" + lbl + "} " +
+                std::to_string(s.deduped.load(std::memory_order_relaxed)) +
+                "\n";
+      }
+      body += "# TYPE waveck_serve_namespace_latency_us histogram\n";
+      for (const ResidentPtr& r : residents) {
+        const ResidentStats& s = r->stats();
+        const std::string lbl = "circuit=\"" + prom_label(r->name()) + "\"";
+        prom_time_hist(body, "waveck_serve_namespace_latency_us",
+                       lbl + ",leg=\"queued\"", s.queued_us);
+        prom_time_hist(body, "waveck_serve_namespace_latency_us",
+                       lbl + ",leg=\"engine\"", s.engine_us);
+      }
+    }
+    ResponseWriter w = ok_response(id, Op::kMetrics);
+    w.field("format", "prometheus");
+    w.field("uptime_s", uptime_s());
+    w.field("body", body);
+    return std::move(w).done();
+  }
+  ResponseWriter w = ok_response(id, Op::kMetrics);
+  w.field("format", "json");
+  w.field("uptime_s", uptime_s());
+  w.raw("registry", reg.to_json());
+  std::string arr = "[";
+  bool first = true;
+  for (const ResidentPtr& r : residents) {
+    const ResidentStats& s = r->stats();
+    if (!first) arr += ",";
+    first = false;
+    arr += "{\"name\":\"" + telemetry::json_escape(r->name()) +
+           "\",\"requests\":" +
+           std::to_string(s.requests.load(std::memory_order_relaxed)) +
+           ",\"deduped\":" +
+           std::to_string(s.deduped.load(std::memory_order_relaxed)) +
+           ",\"queued_us\":" + time_hist_json(s.queued_us) +
+           ",\"engine_us\":" + time_hist_json(s.engine_us) + "}";
+  }
+  arr += "]";
+  w.raw("namespaces", arr);
+  return std::move(w).done();
+}
+
+std::string Server::stats_json() {
+  auto& reg = telemetry::Registry::global();
+  std::string out = "{";
+  for (const char* key : kStatKeys) {
+    out += "\"";
+    out += key + 6;
+    out += "\":" + std::to_string(reg.counter(key).value()) + ",";
+  }
+  out += "\"queue_depth_hw\":" +
+         std::to_string(reg.gauge("serve.queue_depth").high_water()) +
+         ",\"resident\":" + std::to_string(registry_.size()) +
+         ",\"uptime_s\":" + fmt3(uptime_s()) + "}";
+  return out;
+}
+
+void Server::final_stats_line() {
+  // Human prefix, machine payload: `grep waveck-serve:` still works, and
+  // everything after "exiting " is one parseable JSON object — the same
+  // shape the watchdog's "stalled" line carries.
+  std::cerr << "waveck-serve: exiting " << stats_json() << "\n";
 }
 
 }  // namespace waveck::serve

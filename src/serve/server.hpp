@@ -76,6 +76,11 @@ struct ServeOptions {
   /// Install SIGTERM/SIGINT handlers that trigger a clean shutdown (the
   /// CLI sets this; in-process tests do not).
   bool handle_signals = false;
+  /// Flight-recorder blackbox directory ("" = post-mortem dumps disabled).
+  /// When set, start() arms flight::set_blackbox_dir and the fatal-signal
+  /// handlers, so watchdog stalls, deadline expiries, load shedding and
+  /// crashes all leave an explain-loadable dump behind.
+  std::string blackbox_dir;
 };
 
 class Server {
@@ -112,6 +117,8 @@ class Server {
                    const std::string& line);
   void enqueue(const std::shared_ptr<Connection>& conn, const Request& req);
   [[nodiscard]] std::string stats_response(const std::string& id);
+  [[nodiscard]] std::string metrics_response(const std::string& id,
+                                             const std::string& format);
   [[nodiscard]] std::string list_response(const std::string& id);
 
   // --- worker thread ------------------------------------------------------
@@ -123,6 +130,10 @@ class Server {
   void run_stall(const Pending& p);
 
   void send(const std::shared_ptr<Connection>& conn, const std::string& line);
+  /// Compact JSON object with the headline counters — the payload of the
+  /// final stderr line, and of the watchdog's on_stall line.
+  [[nodiscard]] std::string stats_json();
+  [[nodiscard]] double uptime_s() const;
   void final_stats_line();
 
   ServeOptions opt_;
@@ -148,6 +159,7 @@ class Server {
   /// analysis at its next decision boundary.
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+  std::uint64_t start_ns_ = 0;  // monotonic_ns at start(); uptime base
 };
 
 }  // namespace waveck::serve

@@ -6,6 +6,7 @@
 
 #include "analysis/carrier_cache.hpp"
 #include "analysis/head_lines.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 #include "prof/heartbeat.hpp"
 #include "prof/perf_counters.hpp"
@@ -526,12 +527,19 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
   // stamps every nested event with span_context().dec) and is closed by
   // exactly one `decision_close` — "exhausted" when both classes failed,
   // "witness"/"abandoned" for decisions still open when the search stops.
-  // The offline analyzer relies on this bracketing being exact.
-  const auto close_open_decisions = [&stack](const char* outcome) {
-    if (!telemetry::trace_enabled()) return;
+  // The offline analyzer relies on this bracketing being exact; the flight
+  // recorder mirrors it 1:1 so blackbox dumps analyze the same way.
+  const auto close_open_decisions = [&stack](const char* outcome,
+                                             std::uint8_t outcome_code) {
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->id < 0) continue;
       telemetry::span_context().dec = it->id;
-      telemetry::emit("decision_close", {{"outcome", outcome}});
+      if (telemetry::trace_enabled()) {
+        telemetry::emit("decision_close", {{"outcome", outcome}});
+      }
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kDecisionClose, {}, 0, 0, outcome_code);
+      }
     }
     telemetry::span_context().dec = -1;
   };
@@ -552,7 +560,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
   for (;;) {
     if (stop_requested()) {
       cs.pop_to(entry);
-      close_open_decisions("abandoned");
+      close_open_decisions("abandoned", flight::kOutcomeAbandoned);
       out.result = CaseResult::kAbandoned;
       return out;
     }
@@ -562,7 +570,7 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       auto vec = extract_vector(cs);
       const auto sim = simulate_floating(cs.circuit(), vec);
       if (sim.settle[check.output.index()] >= check.delta) {
-        close_open_decisions("witness");
+        close_open_decisions("witness", flight::kOutcomeWitness);
         out.result = CaseResult::kViolation;
         out.vector = std::move(vec);
         return out;
@@ -572,6 +580,10 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       if (telemetry::trace_enabled()) {
         telemetry::emit("spurious_vector", {{"depth", stack.size()}});
       }
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kSpurious, {}, 0,
+                       static_cast<std::int64_t>(stack.size()));
+      }
     }
 
     if (!consistent) {
@@ -580,21 +592,28 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       if (telemetry::trace_enabled()) {
         telemetry::emit("conflict", {{"depth", stack.size()}});
       }
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kConflict, {}, 0,
+                       static_cast<std::int64_t>(stack.size()));
+      }
       // Backtrack to the deepest unflipped decision and try its other class.
       bool resumed = false;
       while (!stack.empty()) {
         Decision& d = stack.back();
         if (d.flipped) {
           cs.pop_to(d.mark);
-          if (telemetry::trace_enabled()) {
+          if (d.id >= 0) {
             telemetry::span_context().dec = d.id;
-            telemetry::emit("decision_close", {{"outcome", "exhausted"}});
+            if (telemetry::trace_enabled()) {
+              telemetry::emit("decision_close", {{"outcome", "exhausted"}});
+            }
+            if (flight::enabled()) {
+              flight::record(flight::Kind::kDecisionClose, {}, 0, 0,
+                             flight::kOutcomeExhausted);
+            }
           }
           stack.pop_back();
-          if (telemetry::trace_enabled()) {
-            telemetry::span_context().dec =
-                stack.empty() ? -1 : stack.back().id;
-          }
+          telemetry::span_context().dec = stack.empty() ? -1 : stack.back().id;
           continue;
         }
         cs.pop_to(d.mark);
@@ -607,16 +626,24 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
           prof::ActivityBoard::set_depth(
               static_cast<std::int64_t>(stack.size()));
         }
-        if (telemetry::trace_enabled()) {
+        if (d.id >= 0) {
           telemetry::span_context().dec = d.id;
-          telemetry::emit("backtrack",
-                          {{"net", cs.circuit().net(d.net).name},
-                           {"cls", d.cls},
-                           {"depth", stack.size()}});
+          if (telemetry::trace_enabled()) {
+            telemetry::emit("backtrack",
+                            {{"net", cs.circuit().net(d.net).name},
+                             {"cls", d.cls},
+                             {"depth", stack.size()}});
+          }
+          if (flight::enabled()) {
+            flight::record(flight::Kind::kBacktrack,
+                           cs.circuit().net(d.net).name, 0,
+                           static_cast<std::int64_t>(stack.size()),
+                           d.cls ? 1 : 0);
+          }
         }
         if (out.backtracks > opt.max_backtracks) {
           cs.pop_to(entry);
-          close_open_decisions("abandoned");
+          close_open_decisions("abandoned", flight::kOutcomeAbandoned);
           out.result = CaseResult::kAbandoned;
           return out;
         }
@@ -630,6 +657,10 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
         h_conflict_depth.observe(stack.size());
         if (telemetry::trace_enabled()) {
           telemetry::emit("conflict", {{"depth", stack.size()}});
+        }
+        if (flight::enabled()) {
+          flight::record(flight::Kind::kConflict, {}, 0,
+                         static_cast<std::int64_t>(stack.size()));
         }
       }
       if (resumed) continue;
@@ -650,7 +681,9 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       continue;
     }
     Decision d{pick->first, pick->second, cs.push_state(), false, -1};
-    if (telemetry::trace_enabled()) d.id = ++next_decision_id;
+    if (telemetry::trace_enabled() || flight::enabled()) {
+      d.id = ++next_decision_id;
+    }
     stack.push_back(d);
     ++out.decisions;
     ctr_decisions.inc();
@@ -659,16 +692,24 @@ CaseAnalysisOutcome run_case_analysis(ConstraintSystem& cs,
       prof::ActivityBoard::set_depth(
           static_cast<std::int64_t>(stack.size()));
     }
-    if (telemetry::trace_enabled()) {
+    if (d.id >= 0) {
       // The decision's own id rides in the sink-stamped "dec"; `parent`
       // links it into the tree (-1 = child of the search root).
       const std::int64_t parent =
           stack.size() > 1 ? stack[stack.size() - 2].id : -1;
       telemetry::span_context().dec = d.id;
-      telemetry::emit("decision", {{"parent", parent},
-                                   {"net", cs.circuit().net(d.net).name},
-                                   {"cls", d.cls},
-                                   {"depth", stack.size()}});
+      if (telemetry::trace_enabled()) {
+        telemetry::emit("decision", {{"parent", parent},
+                                     {"net", cs.circuit().net(d.net).name},
+                                     {"cls", d.cls},
+                                     {"depth", stack.size()}});
+      }
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kDecision,
+                       cs.circuit().net(d.net).name, parent,
+                       static_cast<std::int64_t>(stack.size()),
+                       d.cls ? 1 : 0);
+      }
     }
     cs.restrict_domain(d.net, AbstractSignal::class_only(d.cls));
     consistent = propagate(cs, check, opt.dominators_in_search, cache);

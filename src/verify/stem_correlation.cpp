@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/carrier_cache.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 
 namespace waveck {
@@ -13,10 +14,14 @@ namespace {
 
 void trace_stem(const ConstraintSystem& cs, NetId stem,
                 std::string_view outcome, std::size_t narrowed) {
-  if (!telemetry::trace_enabled()) return;
-  telemetry::emit("stem", {{"net", cs.circuit().net(stem).name},
-                           {"outcome", outcome},
-                           {"narrowed", narrowed}});
+  if (telemetry::trace_enabled()) {
+    telemetry::emit("stem", {{"net", cs.circuit().net(stem).name},
+                             {"outcome", outcome},
+                             {"narrowed", narrowed}});
+  }
+  if (flight::enabled()) {
+    flight::record(flight::Kind::kStem, cs.circuit().net(stem).name);
+  }
 }
 
 }  // namespace

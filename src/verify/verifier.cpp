@@ -1,11 +1,12 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
-
+#include <limits>
 #include <optional>
 
 #include "analysis/carrier_cache.hpp"
 #include "analysis/delay_correlation.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 #include "netlist/topo_delay.hpp"
 #include "prof/heartbeat.hpp"
@@ -26,6 +27,22 @@ StageStatus status_of(ConstraintSystem::Status s) {
   return s == ConstraintSystem::Status::kNoViolation
              ? StageStatus::kNoViolation
              : StageStatus::kPossible;
+}
+
+/// Flight-record code for a stage verdict rendered by to_string(StageStatus)
+/// ("-" / "P" / "N"); the close_stage lambda only has the string.
+std::uint8_t flight_stage_code(const char* status) {
+  switch (status[0]) {
+    case 'P': return flight::kStagePossible;
+    case 'N': return flight::kStageNoViolation;
+    default: return flight::kStageNotRun;
+  }
+}
+
+std::int64_t flight_delta(Time delta) {
+  if (delta.is_pos_inf()) return std::numeric_limits<std::int64_t>::max();
+  if (delta.is_neg_inf()) return std::numeric_limits<std::int64_t>::min();
+  return delta.value();
 }
 
 /// Worst-of for stage aggregation: P dominates N dominates NotRun.
@@ -145,10 +162,16 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
   // (stages, decisions, propagations — including from code that knows
   // nothing about checks) is stamped with this check's id.
   std::optional<telemetry::ScopedCheckSpan> span;
-  if (telemetry::trace_enabled()) {
-    span.emplace();
-    telemetry::emit("check_begin", {{"output", c.net(s).name},
-                                    {"delta", delta.value()}});
+  if (telemetry::trace_enabled() || flight::enabled()) {
+    span.emplace();  // the flight recorder attributes by chk id too
+    if (telemetry::trace_enabled()) {
+      telemetry::emit("check_begin", {{"output", c.net(s).name},
+                                      {"delta", delta.value()}});
+    }
+    if (flight::enabled()) {
+      flight::record(flight::Kind::kCheckBegin, c.net(s).name,
+                     flight_delta(delta));
+    }
   }
   // Profiler mark (thread-local, one relaxed store) and heartbeat board
   // slot: both borrow the net's name, which outlives the check.
@@ -189,6 +212,21 @@ CheckReport Verifier::run_check(const Circuit& c, Circuit* mutable_c,
                        {"seconds", rep.seconds}});
     }
   }
+  if (flight::enabled()) {
+    // The conclusion codes in flight_recorder.hpp mirror CheckConclusion's
+    // declaration order, so the enum value doubles as the record code.
+    flight::record(flight::Kind::kCheckEnd, c.net(s).name,
+                   static_cast<std::int64_t>(rep.seconds * 1e9), 0,
+                   static_cast<std::uint8_t>(rep.conclusion));
+  }
+  // Post-mortem trigger: a check abandoned because its deadline passed is
+  // exactly the "why was this slow?" moment the blackbox exists for. The
+  // per-reason cooldown in dump_blackbox keeps a refutation band that blows
+  // its budget on every output from writing hundreds of dumps.
+  if (rep.conclusion == CheckConclusion::kAbandoned && opt_.deadline_ns != 0 &&
+      prof::monotonic_ns() >= opt_.deadline_ns && flight::blackbox_enabled()) {
+    flight::dump_blackbox("deadline_expired");
+  }
   return rep;
 }
 
@@ -220,6 +258,9 @@ CheckReport Verifier::run_check_stages(
     if (telemetry::trace_enabled()) {
       telemetry::emit("stage_begin", {{"stage", stage}});
     }
+    if (flight::enabled()) {
+      flight::record(flight::Kind::kStageBegin, stage);
+    }
   };
   const auto close_stage = [&](const char* timer, const char* stage,
                                const char* status, double& slot,
@@ -237,6 +278,10 @@ CheckReport Verifier::run_check_stages(
     telemetry::set_stage_mark(nullptr);
     if (telemetry::trace_enabled()) {
       telemetry::emit("stage_end", {{"stage", stage}, {"status", status}});
+    }
+    if (flight::enabled()) {
+      flight::record(flight::Kind::kStageEnd, stage, 0, 0,
+                     flight_stage_code(status));
     }
   };
 
@@ -257,6 +302,10 @@ CheckReport Verifier::run_check_stages(
     stage_watch = telemetry::StopWatch();
     if (telemetry::trace_enabled()) {
       telemetry::emit("stage_end", {{"stage", "learning"}, {"status", "-"}});
+    }
+    if (flight::enabled()) {
+      flight::record(flight::Kind::kStageEnd, "learning", 0, 0,
+                     flight::kStageNotRun);
     }
     cs.set_implications(&lr.table);
   }
@@ -329,6 +378,10 @@ CheckReport Verifier::run_check_stages(
           apply_dominator_implications(cs, rep.check, cache);
       if (telemetry::trace_enabled()) {
         telemetry::emit("gitd_round", {{"narrowed", narrowed}});
+      }
+      if (flight::enabled()) {
+        flight::record(flight::Kind::kGitdRound, {},
+                       static_cast<std::int64_t>(narrowed));
       }
       if (narrowed == 0) break;
       if (cs.reach_fixpoint() == ConstraintSystem::Status::kNoViolation) {

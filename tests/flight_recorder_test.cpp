@@ -1,0 +1,250 @@
+// Flight recorder (doc/OBSERVABILITY.md): ring overwrite semantics, merged
+// chronological dumps, blackbox dumps on deadline expiry and fatal signals,
+// and the explain-compatibility contract — every dump the sanitizing writer
+// produces must load into explain::analyze_trace() with zero warnings.
+#include "common/flight_recorder.hpp"
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "explain/analyzer.hpp"
+#include "explain/trace_reader.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas_suite.hpp"
+#include "netlist/circuit.hpp"
+#include "prof/perf_counters.hpp"
+#include "verify/verifier.hpp"
+
+namespace waveck {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under /tmp, removed on destruction.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/waveck_flight_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p != nullptr ? p : "";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Leaves the recorder in its default state even when a test fails midway.
+struct RecorderGuard {
+  ~RecorderGuard() {
+    flight::set_blackbox_dir("");
+    flight::set_enabled(true);
+    flight::reset_for_test();
+  }
+};
+
+std::vector<std::string> blackbox_files(const std::string& dir,
+                                        const std::string& reason) {
+  std::vector<std::string> out;
+  const std::string prefix = "flight-" + reason + "-";
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) out.push_back(e.path().string());
+  }
+  return out;
+}
+
+TEST(FlightRecorder, RingKeepsOnlyLastCapacityRecords) {
+  auto ring = std::make_unique<flight::Ring>();  // 256 KiB: keep off stack
+  constexpr std::uint64_t kExtra = 100;
+  constexpr std::uint64_t kTotal = flight::Ring::kCapacity + kExtra;
+
+  flight::Record r{};
+  r.kind = static_cast<std::uint8_t>(flight::Kind::kMark);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    r.t_ns = i;
+    ring->push(r);
+  }
+
+  EXPECT_EQ(ring->head(), kTotal);
+  // The readable window is the last kCapacity pushes; the first kExtra
+  // records were overwritten in place.
+  for (std::uint64_t i = kTotal - flight::Ring::kCapacity; i < kTotal; ++i) {
+    ASSERT_EQ(ring->slot(i).t_ns, i) << "slot " << i;
+  }
+  // The slot that held record 0 now holds record kCapacity.
+  EXPECT_EQ(ring->slot(0).t_ns, flight::Ring::kCapacity);
+}
+
+TEST(FlightRecorder, DumpMergesThreadsInChronologicalOrder) {
+  RecorderGuard guard;
+  flight::reset_for_test();
+  flight::set_enabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        flight::record(flight::Kind::kMark,
+                       "t" + std::to_string(t) + "_" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::stringstream ss;
+  flight::dump(ss, "merge_test");
+
+  explain::TraceReader reader(ss);
+  explain::TraceEvent ev;
+  ASSERT_TRUE(reader.next(ev)) << reader.error();
+  EXPECT_EQ(ev.ev, "fr_dump");
+  EXPECT_EQ(ev.str("reason"), "merge_test");
+  EXPECT_GE(ev.num("rings", 0), kThreads);
+
+  std::int64_t prev_t = -1;
+  std::size_t marks = 0;
+  while (reader.next(ev)) {
+    ASSERT_GE(ev.t, prev_t) << "dump not chronological at line "
+                            << reader.line_number();
+    prev_t = ev.t;
+    if (ev.ev == "mark") ++marks;
+  }
+  EXPECT_TRUE(reader.error().empty()) << reader.error();
+  EXPECT_GE(marks, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(FlightRecorder, DeadlineExpiryWritesBlackboxDump) {
+  RecorderGuard guard;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  flight::reset_for_test();
+  flight::set_enabled(true);
+  flight::set_blackbox_dir(dir.path);
+
+  Circuit c = gen::build_raw("c6288");
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  v.set_deadline_ns(prof::monotonic_ns() + 50'000'000ull);  // +50ms
+  const SuiteReport rep = v.check_circuit(Time(500));
+  ASSERT_EQ(rep.conclusion, CheckConclusion::kAbandoned);
+
+  const auto dumps = blackbox_files(dir.path, "deadline_expired");
+  ASSERT_FALSE(dumps.empty())
+      << "abandoned deadline left no blackbox dump in " << dir.path;
+  std::ifstream in(dumps.front());
+  ASSERT_TRUE(in.good());
+  const explain::TraceAnalysis an = explain::analyze_trace(in);
+  EXPECT_TRUE(an.well_formed())
+      << (an.warnings.empty() ? std::string() : an.warnings.front());
+  EXPECT_EQ(an.dump_reason, "deadline_expired");
+  EXPECT_GT(an.events, 0u);
+}
+
+TEST(FlightRecorder, FatalSignalDumpSurvivesTheCrash) {
+  RecorderGuard guard;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the blackbox, record something, then die by SIGSEGV. The
+    // handler must write the dump before the default disposition re-raises.
+    flight::set_blackbox_dir(dir.path);
+    flight::install_fatal_handlers();
+    flight::record(flight::Kind::kMark, "about_to_crash");
+    std::raise(SIGSEGV);
+    ::_exit(0);  // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string path =
+      dir.path + "/flight-fatal-" + std::to_string(pid) + ".jsonl";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no fatal dump at " << path;
+  const explain::TraceAnalysis an = explain::analyze_trace(in);
+  // The signal-safe writer does not sanitize, so warnings are tolerated —
+  // but the header and the child's mark must have survived the crash.
+  EXPECT_EQ(an.dump_reason, "fatal_signal");
+  EXPECT_GT(an.events, 0u);
+  EXPECT_GE(an.event_counts.count("mark"), 1u);
+}
+
+TEST(FlightRecorder, ExplainLoadsRealCheckDumpWithZeroWarnings) {
+  RecorderGuard guard;
+  flight::reset_for_test();
+  flight::set_enabled(true);
+
+  // A real multi-check run so the rings hold genuine check/stage/decision
+  // spans, not synthetic marks.
+  Circuit c = gen::carry_skip_adder(8, 2);
+  c.set_uniform_delay(DelaySpec::fixed(10));
+  Verifier v(c);
+  const SuiteReport rep = v.check_circuit(Time(40));
+  ASSERT_FALSE(rep.per_output.empty());
+
+  std::stringstream ss;
+  flight::dump(ss, "test");
+  const explain::TraceAnalysis an = explain::analyze_trace(ss);
+  EXPECT_TRUE(an.well_formed())
+      << an.n_warnings << " warnings, first: "
+      << (an.warnings.empty() ? std::string() : an.warnings.front());
+  EXPECT_EQ(an.dump_reason, "test");
+  EXPECT_GT(an.dump_records, 0);
+  EXPECT_FALSE(an.checks.empty());
+  EXPECT_GT(an.event_counts.count("check_begin"), 0u);
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  RecorderGuard guard;
+  flight::reset_for_test();
+  flight::set_enabled(false);
+  flight::record(flight::Kind::kMark, "should_not_appear");
+  EXPECT_EQ(flight::stats().records, 0u);
+
+  flight::set_enabled(true);
+  flight::record(flight::Kind::kMark, "appears");
+  EXPECT_GE(flight::stats().records, 1u);
+}
+
+TEST(FlightRecorder, BlackboxCooldownRateLimitsPerReason) {
+  RecorderGuard guard;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  flight::reset_for_test();
+  flight::set_enabled(true);
+  flight::set_blackbox_dir(dir.path);
+  flight::record(flight::Kind::kMark, "cooldown_probe");
+
+  const std::string first = flight::dump_blackbox("cooldown_test");
+  EXPECT_FALSE(first.empty());
+  // Within the cooldown window the same reason is rate-limited...
+  EXPECT_TRUE(flight::dump_blackbox("cooldown_test").empty());
+  // ...but cooldown 0 forces a write, and a different reason is unaffected.
+  EXPECT_FALSE(flight::dump_blackbox("cooldown_test", 0).empty());
+  EXPECT_FALSE(flight::dump_blackbox("other_reason").empty());
+  EXPECT_EQ(blackbox_files(dir.path, "cooldown_test").size(), 2u);
+}
+
+}  // namespace
+}  // namespace waveck

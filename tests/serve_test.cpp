@@ -404,7 +404,11 @@ TEST(ServeProtocol, WatchdogReportsStalledWorker) {
   EXPECT_NE(err.find("[waveck hb#"), std::string::npos) << err;
   EXPECT_NE(err.find("[waveck watchdog]"), std::string::npos) << err;
   EXPECT_NE(err.find("debug_stall"), std::string::npos) << err;
-  EXPECT_NE(err.find("waveck-serve: exiting;"), std::string::npos) << err;
+  // The stall line and the exit line both carry the structured stats JSON.
+  EXPECT_NE(err.find("waveck-serve: stalled {\"requests\":"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("waveck-serve: exiting {\"requests\":"), std::string::npos)
+      << err;
 }
 
 TEST(ServeProtocol, LiveSocketIsNotStolenByASecondServer) {
@@ -520,6 +524,158 @@ TEST(ServeProtocol, ShutdownDrainsQueuedRequestsAsErrors) {
   EXPECT_EQ(ev.str("error"), "shutting_down");
 
   ts.stop();
+}
+
+TEST(ServeIntrospection, StatsReportsCountersAndPerCircuitTable) {
+  Circuit csa = gen::carry_skip_adder(8, 2);
+  const std::string path = write_temp_bench(csa, "stats");
+
+  TestServer ts({});
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"load","name":"m1","file":")" + path +
+                        R"("})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(ok_of(parse(*r))) << *r;
+  r = c.round_trip(R"({"op":"check","circuit":"m1","delta":100})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(line_ok(*r)) << *r;
+
+  // The circuits array nests, so the envelope is probed by substring like
+  // the nested check/list responses above.
+  r = c.round_trip(R"({"id":"st","op":"stats"})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(line_ok(*r)) << *r;
+  const std::string& line = *r;
+  EXPECT_NE(line.find("\"resident\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(line.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(line.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(line.find("\"queue_depth_hw\":"), std::string::npos);
+  EXPECT_NE(line.find("\"queue_cap\":"), std::string::npos);
+  EXPECT_NE(line.find("\"avg_batch\":"), std::string::npos);
+  EXPECT_NE(line.find("\"dedup_ratio\":"), std::string::npos);
+  // Per-namespace table with the request count and both latency legs.
+  EXPECT_NE(line.find("\"circuits\":[{\"name\":\"m1\",\"hash\":\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"queued_p50_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"queued_p99_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"engine_p50_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"engine_p99_us\":"), std::string::npos);
+}
+
+TEST(ServeIntrospection, MetricsJsonCarriesRegistryAndNamespaces) {
+  Circuit csa = gen::carry_skip_adder(8, 2);
+  const std::string path = write_temp_bench(csa, "mjson");
+
+  TestServer ts({});
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"load","name":"mj","file":")" + path +
+                        R"("})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(ok_of(parse(*r))) << *r;
+  r = c.round_trip(R"({"op":"check","circuit":"mj","delta":100})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(line_ok(*r)) << *r;
+
+  r = c.round_trip(R"({"op":"metrics"})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(line_ok(*r)) << *r;
+  const std::string& line = *r;
+  EXPECT_NE(line.find("\"format\":\"json\""), std::string::npos);
+  EXPECT_NE(line.find("\"registry\":{"), std::string::npos);
+  // The registry snapshot includes the global latency split histograms...
+  EXPECT_NE(line.find("\"serve.latency.queued_us\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"serve.latency.engine_us\""), std::string::npos);
+  // ...and the per-namespace block repeats the split per resident circuit.
+  EXPECT_NE(line.find("\"namespaces\":[{\"name\":\"mj\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"queued_us\":{\"count\":"), std::string::npos);
+  EXPECT_NE(line.find("\"engine_us\":{\"count\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p99_us\":"), std::string::npos);
+}
+
+TEST(ServeIntrospection, MetricsPrometheusBodyIsExpositionText) {
+  Circuit csa = gen::carry_skip_adder(8, 2);
+  const std::string path = write_temp_bench(csa, "mprom");
+
+  TestServer ts({});
+  serve::Client c = ts.client();
+  auto r = c.round_trip(R"({"op":"load","name":"mp","file":")" + path +
+                        R"("})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(ok_of(parse(*r))) << *r;
+  r = c.round_trip(R"({"op":"check","circuit":"mp","delta":100})");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(line_ok(*r)) << *r;
+
+  // The prometheus envelope is flat (the exposition text rides inside one
+  // escaped string field), so the flat parser both validates it and
+  // unescapes the body — the same path `waveck client metrics prometheus`
+  // uses.
+  r = c.round_trip(R"({"op":"metrics","format":"prometheus"})");
+  ASSERT_TRUE(r.has_value());
+  explain::TraceEvent ev = parse(*r);
+  EXPECT_TRUE(ok_of(ev)) << *r;
+  EXPECT_EQ(ev.str("format"), "prometheus");
+  const std::string body{ev.str("body")};
+  ASSERT_FALSE(body.empty());
+  EXPECT_NE(body.find("# TYPE waveck_serve_requests_total counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("waveck_serve_latency_queued_us_bucket{le=\"50\"}"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(
+      body.find("waveck_serve_namespace_requests_total{circuit=\"mp\"}"),
+      std::string::npos)
+      << body;
+  EXPECT_NE(body.find("waveck_serve_namespace_latency_us_bucket{circuit="
+                      "\"mp\",leg=\"queued\",le=\"50\"}"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("waveck_serve_namespace_latency_us_count{circuit="
+                      "\"mp\",leg=\"engine\"}"),
+            std::string::npos)
+      << body;
+
+  // An unknown format is a stable protocol error, not a crash or silence.
+  r = c.round_trip(R"({"op":"metrics","format":"xml"})");
+  ASSERT_TRUE(r.has_value());
+  ev = parse(*r);
+  EXPECT_FALSE(ok_of(ev));
+  EXPECT_EQ(ev.str("error"), "missing_field");
+}
+
+TEST(ServeIntrospection, StatsAndMetricsAnswerWhileWorkerIsBusy) {
+  serve::ServeOptions opt;
+  opt.enable_debug_ops = true;
+  TestServer ts(std::move(opt));
+
+  // Wedge the worker, then demand introspection on a second connection:
+  // stats/metrics are served inline by the IO thread, so both must answer
+  // well before the stall clears.
+  serve::Client staller = ts.client();
+  ASSERT_TRUE(
+      staller.send_line(R"({"id":"s","op":"debug_stall","ms":1500})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  serve::Client c = ts.client();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = c.round_trip(R"({"op":"stats"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(line_ok(*r)) << *r;
+  r = c.round_trip(R"({"op":"metrics","format":"prometheus"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(line_ok(*r)) << *r;
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000))
+      << "introspection blocked behind the wedged worker";
+
+  std::string line;
+  ASSERT_TRUE(staller.recv_line(&line));
+  EXPECT_TRUE(ok_of(parse(line)));
 }
 
 }  // namespace

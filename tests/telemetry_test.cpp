@@ -18,6 +18,7 @@ using telemetry::Histogram;
 using telemetry::Registry;
 using telemetry::ScopedTimer;
 using telemetry::StageTimer;
+using telemetry::TimeHistogram;
 using telemetry::TraceField;
 
 /// Removes whatever sink a test installed, even on assertion failure.
@@ -163,6 +164,104 @@ TEST(Histogram, SnapshotCarriesQuantiles) {
   EXPECT_NE(js.find("\"p50\":"), std::string::npos);
   EXPECT_NE(js.find("\"p90\":"), std::string::npos);
   EXPECT_NE(js.find("\"p99\":"), std::string::npos);
+}
+
+TEST(TimeHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  // Bucket i holds us <= kBoundsUs[i]; the last bucket is overflow.
+  EXPECT_EQ(TimeHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(TimeHistogram::bucket_index(50), 0u);
+  EXPECT_EQ(TimeHistogram::bucket_index(51), 1u);
+  EXPECT_EQ(TimeHistogram::bucket_index(100), 1u);
+  EXPECT_EQ(TimeHistogram::bucket_index(1'000), 4u);
+  EXPECT_EQ(TimeHistogram::bucket_index(10'000'000), 15u);
+  EXPECT_EQ(TimeHistogram::bucket_index(10'000'001),
+            TimeHistogram::kBuckets - 1);
+  EXPECT_EQ(TimeHistogram::bucket_index(UINT64_MAX),
+            TimeHistogram::kBuckets - 1);
+
+  TimeHistogram h;
+  h.observe_us(40);
+  h.observe_us(40);
+  h.observe_us(75);
+  h.observe_us(20'000'000);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_us(), 40u + 40u + 75u + 20'000'000u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(TimeHistogram::kBuckets - 1), 1u);
+}
+
+TEST(TimeHistogram, ObserveNsDividesToMicroseconds) {
+  TimeHistogram h;
+  h.observe_ns(49'999);   // 49 us -> bucket 0
+  h.observe_ns(250'999);  // 250 us -> still bucket 2 (<= 250)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.sum_us(), 49u + 250u);
+}
+
+TEST(TimeHistogram, QuantileInterpolatesAndCapsAtOverflow) {
+  TimeHistogram empty;
+  EXPECT_EQ(empty.quantile_us(0.5), 0.0);
+
+  // 100 observations all in bucket (100, 250]: the median of a single full
+  // bucket sits at its midpoint under linear rank interpolation.
+  TimeHistogram h;
+  for (int i = 0; i < 100; ++i) h.observe_us(200);
+  EXPECT_DOUBLE_EQ(h.quantile_us(0.50), 175.0);
+  EXPECT_GT(h.quantile_us(0.99), h.quantile_us(0.10));
+
+  // Overflow bucket reports its lower bound, never infinity.
+  TimeHistogram over;
+  over.observe_us(99'000'000);
+  EXPECT_DOUBLE_EQ(over.quantile_us(0.5),
+                   static_cast<double>(TimeHistogram::kBoundsUs.back()));
+}
+
+TEST(TimeHistogram, MergeFromAddsBucketsCountAndSum) {
+  TimeHistogram a;
+  TimeHistogram b;
+  a.observe_us(10);
+  a.observe_us(2'000);
+  b.observe_us(10);
+  b.observe_us(60'000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum_us(), 10u + 2'000u + 10u + 60'000u);
+  EXPECT_EQ(a.bucket(0), 2u);  // two 10us observations
+  EXPECT_EQ(a.bucket(TimeHistogram::bucket_index(2'000)), 1u);
+  EXPECT_EQ(a.bucket(TimeHistogram::bucket_index(60'000)), 1u);
+  // Source is untouched.
+  EXPECT_EQ(b.count(), 2u);
+
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum_us(), 0u);
+  for (std::size_t i = 0; i < TimeHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), 0u);
+  }
+}
+
+TEST(TimeHistogram, RegistryExposesJsonAndPrometheus) {
+  auto& reg = Registry::global();
+  auto& th = reg.time_histogram("test.latency_us");
+  EXPECT_EQ(&reg.time_histogram("test.latency_us"), &th);
+  th.observe_us(120);
+  th.observe_us(3'000);
+
+  const std::string js = reg.to_json();
+  EXPECT_NE(js.find("\"time_histograms\""), std::string::npos);
+  EXPECT_NE(js.find("\"test.latency_us\""), std::string::npos);
+  EXPECT_NE(js.find("\"sum_us\":"), std::string::npos);
+  EXPECT_NE(js.find("\"p99_us\":"), std::string::npos);
+
+  const std::string prom = reg.to_prometheus("waveck");
+  EXPECT_NE(prom.find("waveck_test_latency_us_bucket{le=\"50\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("waveck_test_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("waveck_test_latency_us_sum"), std::string::npos);
+  EXPECT_NE(prom.find("waveck_test_latency_us_count"), std::string::npos);
 }
 
 TEST(Registry, MetricsPersistAndSnapshotIsJson) {

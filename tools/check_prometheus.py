@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition produced by `waveck client metrics
+prometheus` (and the serve daemon's `metrics` op behind it).
+
+Checks the whole format contract, not just a substring: every line is a
+well-formed comment or sample, every sample's metric was TYPE-declared,
+histogram bucket series are cumulative and consistent (`le` ascending,
+counts non-decreasing, `+Inf` bucket equal to `_count`), and the serve
+introspection series the scrape exists for are actually present.
+
+Usage: check_prometheus.py FILE [required-metric ...]
+Exits non-zero with a message on the first violation.
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?(?:[0-9]+(?:\.[0-9]+)?'
+    r'(?:[eE][+-][0-9]+)?|\+?Inf|NaN))$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def base_name(name):
+    for suffix in ('_bucket', '_sum', '_count', '_total'):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    required = sys.argv[2:]
+
+    typed = {}      # base metric name -> declared type
+    samples = []    # (name, labels-dict, value)
+    with open(path, encoding='utf-8') as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip('\n')
+            if not line:
+                continue
+            if line.startswith('#'):
+                parts = line.split(' ', 3)
+                if parts[1] not in ('TYPE', 'HELP'):
+                    sys.exit(f'{path}:{lineno}: unknown comment kind: {line}')
+                if parts[1] == 'TYPE':
+                    if len(parts) != 4 or parts[3] not in (
+                            'counter', 'gauge', 'histogram', 'summary'):
+                        sys.exit(f'{path}:{lineno}: malformed TYPE: {line}')
+                    typed[parts[2]] = parts[3]
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                sys.exit(f'{path}:{lineno}: malformed sample: {line}')
+            name, labelstr, value = m.group(1), m.group(2) or '', m.group(3)
+            labels = dict(LABEL_RE.findall(labelstr[1:-1])) if labelstr else {}
+            if labelstr and not labelstr.startswith('{'):
+                sys.exit(f'{path}:{lineno}: malformed labels: {line}')
+            if name not in typed and base_name(name) not in typed:
+                sys.exit(f'{path}:{lineno}: sample without TYPE: {name}')
+            samples.append((name, labels, value))
+
+    if not samples:
+        sys.exit(f'{path}: no samples at all')
+
+    # Histogram consistency: group each *_bucket family by its non-le labels.
+    series = {}   # (base, frozenset(labels w/o le)) -> [(le, count)]
+    counts = {}   # (base, frozenset(labels)) -> count value
+    for name, labels, value in samples:
+        if name.endswith('_bucket'):
+            key = (name[:-len('_bucket')],
+                   frozenset((k, v) for k, v in labels.items() if k != 'le'))
+            le = labels.get('le')
+            if le is None:
+                sys.exit(f'{path}: bucket sample without le: {name}')
+            series.setdefault(key, []).append(
+                (float('inf') if le == '+Inf' else float(le), int(value)))
+        elif name.endswith('_count'):
+            counts[(name[:-len('_count')],
+                    frozenset(labels.items()))] = int(value)
+
+    if not series:
+        sys.exit(f'{path}: no histogram series found')
+    for (base, labels), buckets in series.items():
+        ordered = sorted(buckets)
+        if [b for b, _ in buckets] != [b for b, _ in ordered]:
+            sys.exit(f'{path}: {base}{dict(labels)}: le not ascending')
+        cum = [c for _, c in ordered]
+        if cum != sorted(cum):
+            sys.exit(f'{path}: {base}{dict(labels)}: buckets not cumulative')
+        if ordered[-1][0] != float('inf'):
+            sys.exit(f'{path}: {base}{dict(labels)}: missing +Inf bucket')
+        total = counts.get((base, labels))
+        if total is None:
+            sys.exit(f'{path}: {base}{dict(labels)}: missing _count')
+        if total != ordered[-1][1]:
+            sys.exit(f'{path}: {base}{dict(labels)}: +Inf={ordered[-1][1]} '
+                     f'!= _count={total}')
+
+    names = {name for name, _, _ in samples}
+    for want in required:
+        if want not in names:
+            sys.exit(f'{path}: required metric missing: {want}')
+
+    print(f'{path}: OK — {len(samples)} samples, {len(typed)} metrics, '
+          f'{len(series)} histogram series')
+
+
+if __name__ == '__main__':
+    main()

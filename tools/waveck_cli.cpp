@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "analysis/learning.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/telemetry.hpp"
 #include "explain/explain_cli.hpp"
+#include "explain/trace_reader.hpp"
 #include "prof/heartbeat.hpp"
 #include "prof/perf_counters.hpp"
 #include "prof/profiler.hpp"
@@ -111,7 +113,12 @@ int usage() {
       "  --profile FILE        sample the whole command with the in-process\n"
       "                        profiler; write speedscope JSON to FILE and\n"
       "                        collapsed stacks next to it\n"
-      "  --profile-hz N        profiler sampling rate (default 997)\n";
+      "  --profile-hz N        profiler sampling rate (default 997)\n"
+      "  --blackbox DIR        arm the flight recorder's post-mortem dumps:\n"
+      "                        watchdog stalls, deadline expiries and fatal\n"
+      "                        signals write flight-*.jsonl into DIR, plus\n"
+      "                        one \"exit\" dump when the command finishes\n"
+      "                        (load them with `waveck explain`)\n";
   return 2;
 }
 
@@ -440,6 +447,9 @@ int cmd_serve(const std::vector<std::string>& args) {
         opt.stall_s = std::stod(args[++i]);
       } else if (a == "--enable-debug-ops") {
         opt.enable_debug_ops = true;
+      } else if (a == "--blackbox") {
+        if (!need_value(i, "--blackbox")) return 2;
+        opt.blackbox_dir = args[++i];
       } else {
         std::cerr << "error: unknown serve flag " << a << "\n";
         return 2;
@@ -479,6 +489,13 @@ std::string client_request(const std::vector<std::string>& cmd,
   const std::string& op = cmd[0];
   if (op == "ping" || op == "list" || op == "stats" || op == "shutdown") {
     return "{\"op\":" + jstr(op) + "}";
+  }
+  if (op == "metrics") {
+    // `metrics [json|prometheus]`; the prometheus envelope is unwrapped by
+    // cmd_client so the body pipes straight into a scraper.
+    std::string line = "{\"op\":\"metrics\"";
+    if (cmd.size() > 1) line += ",\"format\":" + jstr(cmd[1]);
+    return line + "}";
   }
   if (op == "load" && cmd.size() >= 3) {
     // Resolve the netlist path client-side: the daemon reads it from ITS
@@ -553,6 +570,7 @@ int cmd_client(const std::vector<std::string>& args) {
 
   // Request lines: sugar command, raw JSON arguments, or stdin JSONL.
   std::vector<std::string> lines;
+  bool unwrap_prometheus = false;
   if (cmd.empty() || cmd[0] == "-") {
     for (std::string line; std::getline(std::cin, line);) {
       if (!line.empty()) lines.push_back(line);
@@ -565,11 +583,14 @@ int cmd_client(const std::vector<std::string>& args) {
       std::cerr << "usage: waveck client [--socket PATH|--tcp PORT] "
                    "[--report] [--timeout-ms N]\n"
                    "  ping | list | stats | shutdown\n"
+                   "  metrics [json|prometheus]\n"
                    "  load NAME FILE [DELAYS] | unload NAME\n"
                    "  check CIRCUIT DELTA [OUT]\n"
                    "  '{...}' ... | -   (raw JSONL; '-' reads stdin)\n";
       return 2;
     }
+    unwrap_prometheus =
+        cmd[0] == "metrics" && cmd.size() > 1 && cmd[1] == "prometheus";
     lines.push_back(line);
   }
 
@@ -597,6 +618,17 @@ int cmd_client(const std::vector<std::string>& args) {
     if (report_only) {
       const std::string report = extract_report(*response);
       std::cout << (report.empty() ? *response : report) << "\n";
+    } else if (unwrap_prometheus && ok) {
+      // `metrics prometheus` sugar: print the exposition text itself, not
+      // the JSON envelope — the output pipes straight into promtool or a
+      // scrape-endpoint shim. The envelope parser doubles as the unescaper.
+      explain::TraceEvent ev;
+      std::string perr;
+      if (explain::parse_flat_object(*response, ev, perr)) {
+        std::cout << ev.str("body");
+      } else {
+        std::cout << *response << "\n";
+      }
     } else {
       std::cout << *response << "\n";
     }
@@ -725,19 +757,22 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string profile_path;
+  std::string blackbox_dir;
   bool progress_on = false;
   double progress_interval = 5.0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--metrics" || a == "--trace" || a == "--profile") {
+    if (a == "--metrics" || a == "--trace" || a == "--profile" ||
+        a == "--blackbox") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << a << " needs a file argument\n";
         return usage();
       }
-      (a == "--metrics"   ? metrics_path
-       : a == "--trace"   ? trace_path
-                          : profile_path) = argv[++i];
+      (a == "--metrics"    ? metrics_path
+       : a == "--trace"    ? trace_path
+       : a == "--blackbox" ? blackbox_dir
+                           : profile_path) = argv[++i];
     } else if (a == "--jobs" || a == "--profile-hz") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << a << " needs a number\n";
@@ -777,6 +812,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<telemetry::JsonlTraceSink> sink;
   std::unique_ptr<prof::ProgressMonitor> monitor;
   int rc = 2;
+  if (!blackbox_dir.empty()) {
+    flight::set_blackbox_dir(blackbox_dir);
+    flight::install_fatal_handlers();
+  }
   try {
     if (!trace_path.empty()) {
       sink = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
@@ -812,6 +851,15 @@ int main(int argc, char** argv) {
   monitor.reset();
   telemetry::set_trace_sink(nullptr);
   sink.reset();
+  if (!blackbox_dir.empty()) {
+    // Unconditional end-of-run dump (cooldown 0 forces it even when an
+    // automatic trigger fired moments earlier): `--blackbox DIR` always
+    // leaves at least one explain-loadable trace of the run behind.
+    const std::string path = flight::dump_blackbox("exit", 0);
+    if (!path.empty()) {
+      std::cerr << "flight recorder dump: " << path << "\n";
+    }
+  }
   if (!metrics_path.empty()) {
     // Written even after a failed command: partial metrics still help.
     std::ofstream os(metrics_path);
